@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-tables examples suite clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; echo; done
+
+suite:
+	$(PYTHON) -m repro.cli experiment all --out-dir results/
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,47 @@
+"""Benchmark harness helpers.
+
+Every figure bench times one experiment run via pytest-benchmark, prints
+the figure's rows/series (the same numbers the paper plots), and asserts
+the *shape* properties DESIGN.md commits to.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ExperimentResult
+
+_RESULTS = []
+
+
+def report(result: ExperimentResult) -> None:
+    """Queue a figure table for printing at the end of the session."""
+    _RESULTS.append(result)
+
+
+def shape_check(benchmark) -> None:
+    """Mark a test as a (non-timing) shape assertion.
+
+    ``pytest --benchmark-only`` skips any test that never touches the
+    ``benchmark`` fixture; the shape checks ride along by timing a no-op
+    and grouping themselves out of the main timing table.
+    """
+    benchmark.group = "shape-checks"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def print_collected_tables():
+    """Print every reproduced figure after the benchmark session."""
+    yield
+    if not _RESULTS:
+        return
+    print("\n")
+    print("=" * 70)
+    print("Reproduced paper figures (rows as plotted)")
+    print("=" * 70)
+    for result in _RESULTS:
+        print()
+        print(result.render())

@@ -1,0 +1,92 @@
+"""Ablation: fixed vs adaptive SDSL theta across group densities.
+
+The N=500 calibration showed the best theta grows with K/N; the
+adaptive rule (theta_eff = clamp(20*K/N, 0.5, 2.5)) encodes that.  This
+bench verifies the rule at bench scale: adaptive SDSL is at or below
+fixed theta=2 on average across a low-density and a high-density K.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report, shape_check
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.config import LandmarkConfig, SDSLConfig
+from repro.core.schemes import SDSLScheme, SLScheme
+from repro.experiments.base import build_testbed, run_simulation
+
+#: (K as fraction of N) sweep: sparse and dense group regimes.
+K_FRACTIONS = (0.05, 0.10, 0.20)
+
+
+def run_adaptive_sweep(num_caches=120, seeds=(191, 192, 193)):
+    lm = LandmarkConfig(num_landmarks=15, multiplier=2)
+    sl = np.zeros(len(K_FRACTIONS))
+    fixed = np.zeros(len(K_FRACTIONS))
+    adaptive = np.zeros(len(K_FRACTIONS))
+    for seed in seeds:
+        testbed = build_testbed(num_caches, seed)
+        for i, fraction in enumerate(K_FRACTIONS):
+            k = max(2, round(fraction * num_caches))
+            g = SLScheme(landmark_config=lm).form_groups(
+                testbed.network, k, seed=seed
+            )
+            sl[i] += run_simulation(testbed, g).average_latency_ms() / len(
+                seeds
+            )
+            g2 = SDSLScheme(
+                sdsl_config=SDSLConfig(theta=2.0), landmark_config=lm
+            ).form_groups(testbed.network, k, seed=seed)
+            fixed[i] += run_simulation(
+                testbed, g2
+            ).average_latency_ms() / len(seeds)
+            g3 = SDSLScheme(
+                sdsl_config=SDSLConfig(adaptive=True), landmark_config=lm
+            ).form_groups(testbed.network, k, seed=seed)
+            adaptive[i] += run_simulation(
+                testbed, g3
+            ).average_latency_ms() / len(seeds)
+    return ExperimentResult(
+        experiment_id="ablation-adaptive-theta",
+        x_label="k_fraction",
+        x_values=K_FRACTIONS,
+        series=(
+            SeriesResult("sl_ms", tuple(sl)),
+            SeriesResult("sdsl_theta2_ms", tuple(fixed)),
+            SeriesResult("sdsl_adaptive_ms", tuple(adaptive)),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def adaptive_result():
+    return run_adaptive_sweep()
+
+
+def test_adaptive_sweep_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_adaptive_sweep,
+        kwargs=dict(num_caches=40, seeds=(191,)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.experiment_id == "ablation-adaptive-theta"
+
+
+def test_adaptive_at_or_below_fixed_on_average(benchmark, adaptive_result):
+    shape_check(benchmark)
+    report(adaptive_result)
+    fixed = np.mean(adaptive_result.series_named("sdsl_theta2_ms").values)
+    adaptive = np.mean(
+        adaptive_result.series_named("sdsl_adaptive_ms").values
+    )
+    assert adaptive <= fixed * 1.05
+
+
+def test_adaptive_beats_sl_on_average(benchmark, adaptive_result):
+    shape_check(benchmark)
+    sl = np.mean(adaptive_result.series_named("sl_ms").values)
+    adaptive = np.mean(
+        adaptive_result.series_named("sdsl_adaptive_ms").values
+    )
+    assert adaptive < sl

@@ -1,0 +1,78 @@
+"""Figure 3 bench: average latency vs. average cache group size.
+
+Shape requirements (paper Section 4):
+* all three latency curves are U-shaped — cooperation first helps, then
+  oversized groups hurt;
+* the far-from-origin caches reach their minimum at a group size no
+  smaller than the near caches' (far caches want more cooperation).
+"""
+
+import pytest
+
+from benchmarks.conftest import report, shape_check
+from repro.experiments import run_fig3
+
+GROUP_SIZES = (1, 2, 4, 7, 10, 15, 25, 40, 100)
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3(num_caches=100, group_sizes=GROUP_SIZES, seed=11)
+
+
+def test_fig3_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_fig3,
+        kwargs=dict(
+            num_caches=60,
+            group_sizes=(1, 4, 10, 30, 60),
+            seed=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.experiment_id == "fig3"
+
+
+def test_fig3_all_caches_u_shape(benchmark, fig3_result):
+    shape_check(benchmark)
+    report(fig3_result)
+    series = fig3_result.series_named("all_caches_ms")
+    min_idx = series.min_index()
+    # Interior minimum: cooperation helps, oversizing hurts.
+    assert 0 < min_idx < len(series) - 1
+    assert series.values[min_idx] < series.values[0]
+    assert series.values[min_idx] < series.values[-1]
+
+
+def test_fig3_far_caches_u_shape(benchmark, fig3_result):
+    shape_check(benchmark)
+    far = fig3_result.series_named("farthest_10_ms")
+    min_idx = far.min_index()
+    assert 0 < min_idx < len(far) - 1
+    # Far caches gain a lot from cooperation vs. isolation.
+    assert far.values[min_idx] < 0.8 * far.values[0]
+
+
+def test_fig3_far_prefers_larger_groups_than_near(benchmark, fig3_result):
+    shape_check(benchmark)
+    near = fig3_result.series_named("nearest_10_ms")
+    far = fig3_result.series_named("farthest_10_ms")
+    near_best = fig3_result.x_values[near.min_index()]
+    far_best = fig3_result.x_values[far.min_index()]
+    assert far_best >= near_best
+
+
+def test_fig3_tradeoff_not_uniform_across_subsets(benchmark, fig3_result):
+    """The paper's key observation: the hit-rate/interaction-cost
+    trade-off affects caches differently by server distance.  Far
+    caches' best-case gain over no-cooperation dwarfs the near caches'
+    gain — which is exactly why a one-size-fits-all K is suboptimal and
+    SDSL exists."""
+    shape_check(benchmark)
+    near = fig3_result.series_named("nearest_10_ms")
+    far = fig3_result.series_named("farthest_10_ms")
+    near_gain = 1 - min(near.values) / near.values[0]
+    far_gain = 1 - min(far.values) / far.values[0]
+    assert far_gain > 0.3
+    assert far_gain > 2 * near_gain

@@ -1,0 +1,53 @@
+"""Figure 4 bench: landmark-selection accuracy vs. network size.
+
+Shape requirements (paper Section 5.1): the SL greedy selector yields
+lower average group interaction cost than random selection (on average
+across sizes) and clearly lower than min-dist selection at every size.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report, shape_check
+from repro.experiments import run_fig4
+
+SIZES = (60, 100, 140, 180)
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_fig4(network_sizes=SIZES, repetitions=4, seed=13)
+
+
+def test_fig4_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_fig4,
+        kwargs=dict(network_sizes=(60,), repetitions=1, seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.experiment_id == "fig4"
+
+
+def test_fig4_sl_beats_mindist_everywhere(benchmark, fig4_result):
+    shape_check(benchmark)
+    report(fig4_result)
+    sl = fig4_result.series_named("sl_ms").values
+    mindist = fig4_result.series_named("mindist_ms").values
+    for s, m in zip(sl, mindist):
+        assert s < m
+
+
+def test_fig4_sl_beats_random_on_average(benchmark, fig4_result):
+    shape_check(benchmark)
+    sl = np.mean(fig4_result.series_named("sl_ms").values)
+    random_ = np.mean(fig4_result.series_named("random_ms").values)
+    assert sl < random_
+
+
+def test_fig4_gicost_falls_with_network_size(benchmark, fig4_result):
+    """With K fixed at 10% of N, more caches -> tighter groups (denser
+    placement on the fixed-density topology family)."""
+    shape_check(benchmark)
+    sl = fig4_result.series_named("sl_ms").values
+    assert sl[-1] < sl[0] * 1.5  # does not blow up with size

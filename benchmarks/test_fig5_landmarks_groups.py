@@ -1,0 +1,56 @@
+"""Figure 5 bench: landmark-selection accuracy vs. number of groups.
+
+Shape requirements: GICost decreases as K grows for every selector, and
+SL's greedy selection stays at or below the baselines across K (clearly
+below min-dist).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report, shape_check
+from repro.experiments import run_fig5
+
+K_VALUES = (5, 10, 15, 25, 40)
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_fig5(
+        num_caches=150, k_values=K_VALUES, repetitions=4, seed=17
+    )
+
+
+def test_fig5_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs=dict(
+            num_caches=60, k_values=(5, 10), repetitions=1, seed=17
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.experiment_id == "fig5"
+
+
+def test_fig5_sl_beats_mindist_at_every_k(benchmark, fig5_result):
+    shape_check(benchmark)
+    report(fig5_result)
+    sl = fig5_result.series_named("sl_ms").values
+    mindist = fig5_result.series_named("mindist_ms").values
+    for s, m in zip(sl, mindist):
+        assert s < m
+
+
+def test_fig5_sl_at_or_below_random(benchmark, fig5_result):
+    shape_check(benchmark)
+    sl = np.mean(fig5_result.series_named("sl_ms").values)
+    random_ = np.mean(fig5_result.series_named("random_ms").values)
+    assert sl <= random_ * 1.03
+
+
+def test_fig5_gicost_decreases_with_k(benchmark, fig5_result):
+    shape_check(benchmark)
+    for name in ("sl_ms", "random_ms", "mindist_ms"):
+        series = fig5_result.series_named(name).values
+        assert series[-1] < series[0]

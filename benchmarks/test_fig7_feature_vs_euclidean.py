@@ -1,0 +1,58 @@
+"""Figure 7 bench: feature vectors vs. GNP Euclidean-space clustering.
+
+Shape requirement (paper Section 5.2): *near-parity*.  The raw
+feature-vector representation clusters about as well as the
+computationally heavier GNP embedding — within a modest band at every
+K, with neither side winning everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report, shape_check
+from repro.experiments import run_fig7
+
+K_VALUES = (5, 10, 20, 40)
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return run_fig7(
+        num_caches=120, k_values=K_VALUES, repetitions=2, seed=23
+    )
+
+
+def test_fig7_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_fig7,
+        kwargs=dict(
+            num_caches=40, k_values=(5,), gnp_dimensions=3,
+            repetitions=1, seed=23,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.experiment_id == "fig7"
+
+
+def test_fig7_near_parity_at_every_k(benchmark, fig7_result):
+    shape_check(benchmark)
+    report(fig7_result)
+    sl = fig7_result.series_named("sl_feature_vectors_ms").values
+    gnp = fig7_result.series_named("euclidean_gnp_ms").values
+    for s, g in zip(sl, gnp):
+        assert g == pytest.approx(s, rel=0.35)
+
+
+def test_fig7_mean_difference_small(benchmark, fig7_result):
+    shape_check(benchmark)
+    sl = np.mean(fig7_result.series_named("sl_feature_vectors_ms").values)
+    gnp = np.mean(fig7_result.series_named("euclidean_gnp_ms").values)
+    assert abs(sl - gnp) / sl < 0.2
+
+
+def test_fig7_both_decrease_with_k(benchmark, fig7_result):
+    shape_check(benchmark)
+    for name in ("sl_feature_vectors_ms", "euclidean_gnp_ms"):
+        series = fig7_result.series_named(name).values
+        assert series[-1] < series[0]

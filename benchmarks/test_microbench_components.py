@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the core components.
+
+Classic pytest-benchmark timings (multiple rounds) for the pieces a
+downstream user would run in a loop: topology generation, all-pairs
+RTT, landmark selection, K-means, and simulator throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans
+from repro.config import LandmarkConfig, WorkloadConfig, DocumentConfig
+from repro.core.schemes import SLScheme
+from repro.landmarks import GreedyMaxMinSelector
+from repro.probing import Prober
+from repro.simulator import simulate
+from repro.core.groups import single_group
+from repro.topology import build_network
+from repro.topology.distance import compute_rtt_matrix
+from repro.workload import generate_workload
+
+
+@pytest.fixture(scope="module")
+def network100():
+    return build_network(num_caches=100, seed=5)
+
+
+def test_topology_generation_100_caches(benchmark):
+    benchmark(build_network, num_caches=100, seed=5)
+
+
+def test_rtt_matrix_computation(benchmark, network100):
+    graph = network100.graph
+    placed = network100.placement.node_routers
+    result = benchmark(compute_rtt_matrix, graph, placed)
+    assert result.size == 101
+
+
+def test_greedy_landmark_selection(benchmark, network100):
+    config = LandmarkConfig(num_landmarks=25, multiplier=2)
+
+    def run():
+        prober = Prober(network100, seed=1)
+        return GreedyMaxMinSelector().select(
+            prober, config, np.random.default_rng(1)
+        )
+
+    landmarks = benchmark(run)
+    assert len(landmarks) == 25
+
+
+def test_kmeans_500x25(benchmark):
+    rng = np.random.default_rng(3)
+    points = rng.random((500, 25)) * 100
+    result = benchmark(lambda: KMeans(k=50).fit(points, seed=3))
+    assert result.cluster_sizes().sum() == 500
+
+
+def test_full_sl_scheme_100_caches(benchmark, network100):
+    scheme = SLScheme(
+        landmark_config=LandmarkConfig(num_landmarks=25, multiplier=2)
+    )
+    result = benchmark(scheme.form_groups, network100, 10, 7)
+    assert result.num_groups <= 10
+
+
+def test_simulator_throughput(benchmark, network100):
+    """Requests per second through the event loop (one giant group,
+    worst case for directory sizes)."""
+    workload = generate_workload(
+        network100.cache_nodes,
+        WorkloadConfig(
+            documents=DocumentConfig(num_documents=300),
+            requests_per_cache=100,
+        ),
+        seed=9,
+    )
+    grouping = single_group(network100.cache_nodes)
+    result = benchmark(simulate, network100, grouping, workload)
+    assert result.metrics.total_requests() > 0

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Scenario: tuning SDSL's theta for a deployed edge network.
+
+SDSL's only knob is theta, the server-distance sensitivity of the
+initial-center distribution (``Pr ∝ 1/dist^theta``).  This example
+sweeps theta on one network and shows the mechanism the paper
+describes: larger theta concentrates groups near the origin (compact
+groups there, big spread-out groups far away), improving the far
+caches' hit rates where origin fetches are most expensive.
+
+It prints, per theta:
+
+* average latency (all caches / nearest 10% / farthest 10%),
+* the correlation between a group's size and its mean server distance
+  (positive correlation = the SDSL size gradient is present).
+
+Run:  python examples/sdsl_tuning.py
+"""
+
+import numpy as np
+
+from repro import SDSLConfig, SDSLScheme, build_network, generate_workload, simulate
+from repro.utils.tables import Table
+
+
+def size_distance_correlation(network, grouping) -> float:
+    """Pearson correlation between group size and mean server distance."""
+    sizes, dists = [], []
+    for group in grouping.groups:
+        sizes.append(group.size)
+        dists.append(
+            np.mean([network.server_distance(m) for m in group.members])
+        )
+    if len(set(sizes)) < 2 or len(set(dists)) < 2:
+        return float("nan")
+    return float(np.corrcoef(sizes, dists)[0, 1])
+
+
+def main() -> None:
+    network = build_network(num_caches=120, seed=99)
+    workload = generate_workload(network.cache_nodes, seed=99)
+    subset = network.num_caches // 10
+    k = 12
+    repetitions = 3
+
+    table = Table(
+        ["theta", "latency_ms", "near_ms", "far_ms", "size_dist_corr"]
+    )
+    for theta in (0.0, 0.5, 1.0, 2.0, 4.0):
+        lat, near, far, corr = [], [], [], []
+        for seed in range(repetitions):
+            scheme = SDSLScheme(sdsl_config=SDSLConfig(theta=theta))
+            grouping = scheme.form_groups(network, k, seed=seed)
+            result = simulate(network, grouping, workload)
+            lat.append(result.average_latency_ms())
+            near.append(result.latency_nearest_origin(subset))
+            far.append(result.latency_farthest_origin(subset))
+            c = size_distance_correlation(network, grouping)
+            if not np.isnan(c):
+                corr.append(c)
+        table.add_row(
+            [
+                theta,
+                float(np.mean(lat)),
+                float(np.mean(near)),
+                float(np.mean(far)),
+                float(np.mean(corr)) if corr else float("nan"),
+            ]
+        )
+    print(f"SDSL theta sweep (N=120, K={k}, mean of {repetitions} runs):\n")
+    print(table.render())
+    print(
+        "\ntheta=0 is exactly the SL scheme (uniform seeding).  As theta "
+        "grows, the size/server-distance correlation turns positive — "
+        "compact groups near the origin, larger ones far away — and the "
+        "far caches' latency drops.  Past the sweet spot the origin-side "
+        "groups get too fragmented and the gain erodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

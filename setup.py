@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e .` work on environments
+without the `wheel` package (no network for build isolation)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""Tiny ASCII line plots for experiment results.
+
+The CLI sketches each reproduced figure in the terminal so the U-shapes
+and crossovers are visible without leaving the shell.  Pure text, no
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.report import ExperimentResult
+from repro.errors import ReproError
+
+_MARKERS = "ox*+#@%&"
+
+
+def sketch(
+    result: ExperimentResult,
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Render an experiment's series as an ASCII chart.
+
+    X positions are evenly spaced per sweep point (the sweeps are
+    log-ish, so rank spacing reads better than value spacing); Y is
+    linearly scaled over the combined series range.
+    """
+    if height < 4 or width < 16:
+        raise ReproError("chart needs at least 4 rows and 16 columns")
+    series = result.series
+    points = len(result.x_values)
+    if points == 1:
+        # Nothing to plot; fall back to the table.
+        return result.to_table().render()
+
+    all_values = [v for s in series for v in s.values]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for s_index, s in enumerate(series):
+        marker = _MARKERS[s_index % len(_MARKERS)]
+        for i, value in enumerate(s.values):
+            col = round(i * (width - 1) / (points - 1))
+            row = round((hi - value) / (hi - lo) * (height - 1))
+            cell = grid[row][col]
+            grid[row][col] = "!" if cell not in (" ", marker) else marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{hi:>9.1f} |"
+        elif row_index == height - 1:
+            label = f"{lo:>9.1f} |"
+        else:
+            label = " " * 9 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    x_axis = (
+        f"{result.x_label}: "
+        + " .. ".join(str(x) for x in (result.x_values[0], result.x_values[-1]))
+    )
+    lines.append(" " * 11 + x_axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * 11 + legend + "   (! = overlap)")
+    return "\n".join(lines)

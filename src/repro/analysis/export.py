@@ -1,0 +1,66 @@
+"""CSV export of simulation metrics and experiment results.
+
+Operators post-process these with whatever tooling they have; the
+formats are deliberately flat (one row per cache / per sweep point).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.report import ExperimentResult
+from repro.simulator.metrics import SimulationMetrics
+
+PathLike = Union[str, Path]
+
+CACHE_COLUMNS = [
+    "cache_node",
+    "requests",
+    "local_hits",
+    "group_hits",
+    "origin_fetches",
+    "mean_latency_ms",
+    "max_latency_ms",
+    "query_messages",
+    "peer_bytes",
+    "origin_bytes",
+    "invalidations_received",
+]
+
+
+def export_cache_stats(metrics: SimulationMetrics, path: PathLike) -> None:
+    """One CSV row per cache with its full counter set."""
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(CACHE_COLUMNS)
+        for cache in metrics.cache_nodes():
+            stats = metrics.cache_stats(cache)
+            has_latency = stats.latency.count > 0
+            writer.writerow(
+                [
+                    cache,
+                    stats.requests,
+                    stats.local_hits,
+                    stats.group_hits,
+                    stats.origin_fetches,
+                    f"{stats.latency.mean:.4f}" if has_latency else "",
+                    f"{stats.latency.maximum:.4f}" if has_latency else "",
+                    stats.query_messages,
+                    stats.peer_bytes,
+                    stats.origin_bytes,
+                    stats.invalidations_received,
+                ]
+            )
+
+
+def export_experiment_result(
+    result: ExperimentResult, path: PathLike
+) -> None:
+    """One CSV row per sweep point, one column per series."""
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow([result.x_label, *(s.name for s in result.series)])
+        for i, x in enumerate(result.x_values):
+            writer.writerow([x, *(s.values[i] for s in result.series)])

@@ -1,0 +1,105 @@
+"""Per-group breakdown of a simulation run.
+
+Aggregates the per-cache simulator counters group by group — the view a
+GF-Coordinator operator looks at to see *which* groups work and which
+don't (e.g. a far-from-origin group with a poor hit rate is a
+re-clustering candidate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis.gicost import group_interaction_cost
+from repro.errors import SchemeError
+from repro.simulator.runner import SimulationResult
+from repro.utils.stats import OnlineStats
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class GroupSummary:
+    """Aggregated behaviour of one cooperative group."""
+
+    group_id: int
+    size: int
+    requests: int
+    mean_latency_ms: float
+    local_hit_share: float
+    group_hit_share: float
+    origin_share: float
+    gicost_ms: float
+    mean_server_distance_ms: float
+
+
+def summarize_groups(result: SimulationResult) -> List[GroupSummary]:
+    """One :class:`GroupSummary` per group of the simulated grouping."""
+    summaries: List[GroupSummary] = []
+    network = result.network
+    for group in result.grouping.groups:
+        latency = OnlineStats()
+        local = group_hits = origin = 0
+        for member in group.members:
+            stats = result.metrics.cache_stats(member)
+            latency = latency.merge(stats.latency)
+            local += stats.local_hits
+            group_hits += stats.group_hits
+            origin += stats.origin_fetches
+        requests = local + group_hits + origin
+        if requests == 0:
+            raise SchemeError(
+                f"group {group.group_id} served no counted requests"
+            )
+        summaries.append(
+            GroupSummary(
+                group_id=group.group_id,
+                size=group.size,
+                requests=requests,
+                mean_latency_ms=latency.mean,
+                local_hit_share=local / requests,
+                group_hit_share=group_hits / requests,
+                origin_share=origin / requests,
+                gicost_ms=group_interaction_cost(network, group),
+                mean_server_distance_ms=float(
+                    np.mean(
+                        [network.server_distance(m) for m in group.members]
+                    )
+                ),
+            )
+        )
+    return summaries
+
+
+def group_report_table(result: SimulationResult) -> Table:
+    """The per-group summaries as an aligned text table."""
+    table = Table(
+        [
+            "group",
+            "size",
+            "requests",
+            "latency_ms",
+            "local",
+            "group",
+            "origin",
+            "gicost_ms",
+            "server_dist_ms",
+        ]
+    )
+    for s in summarize_groups(result):
+        table.add_row(
+            [
+                s.group_id,
+                s.size,
+                s.requests,
+                s.mean_latency_ms,
+                s.local_hit_share,
+                s.group_hit_share,
+                s.origin_share,
+                s.gicost_ms,
+                s.mean_server_distance_ms,
+            ]
+        )
+    return table

@@ -1,0 +1,79 @@
+"""Experiment result containers and rendering.
+
+Every experiment module produces an :class:`ExperimentResult` — a set
+of named series over a common x-axis — which the benchmark harness
+prints as the same rows/series the corresponding paper figure reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class SeriesResult:
+    """One named series: y-values over the experiment's x-axis."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("series name cannot be empty")
+        if not self.values:
+            raise ReproError(f"series {self.name!r} has no values")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def min_index(self) -> int:
+        """Index of the minimum value (e.g. a U-curve's optimum)."""
+        return min(range(len(self.values)), key=lambda i: self.values[i])
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A figure-shaped result: x-axis plus one series per curve/bar."""
+
+    experiment_id: str
+    x_label: str
+    x_values: tuple
+    series: tuple
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ReproError(
+                f"experiment {self.experiment_id} produced no series"
+            )
+        for s in self.series:
+            if len(s) != len(self.x_values):
+                raise ReproError(
+                    f"series {s.name!r} has {len(s)} values for "
+                    f"{len(self.x_values)} x points"
+                )
+
+    def series_named(self, name: str) -> SeriesResult:
+        for s in self.series:
+            if s.name == name:
+                return s
+        known = ", ".join(s.name for s in self.series)
+        raise ReproError(f"no series named {name!r}; have: {known}")
+
+    def to_table(self) -> Table:
+        """Render as an aligned table, one row per x value."""
+        table = Table([self.x_label, *(s.name for s in self.series)])
+        for i, x in enumerate(self.x_values):
+            table.add_row([x, *(s.values[i] for s in self.series)])
+        return table
+
+    def render(self) -> str:
+        """Full printable report: header, table, and notes."""
+        lines = [f"== {self.experiment_id} ==", self.to_table().render()]
+        for key in sorted(self.notes):
+            lines.append(f"{key}: {self.notes[key]:.2f}")
+        return "\n".join(lines)

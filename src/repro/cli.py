@@ -1,0 +1,285 @@
+"""Command-line interface.
+
+Four subcommands cover the operational workflow end to end::
+
+    repro network    --caches 100 --seed 7 --out net.npz
+    repro form-groups --network net.npz --scheme SDSL --k 10 --out g.json
+    repro simulate   --network net.npz --groups g.json --seed 7
+    repro experiment fig4 --repetitions 2 --plot
+
+``repro experiment`` runs any registered paper-figure experiment and
+prints its table (optionally an ASCII sketch of the curves); results
+can be archived as JSON/CSV for later comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis import average_group_interaction_cost
+from repro.analysis.asciiplot import sketch
+from repro.analysis.export import (
+    export_cache_stats,
+    export_experiment_result,
+)
+from repro.config import LandmarkConfig, WorkloadConfig, DocumentConfig
+from repro.core.schemes import scheme_by_name
+from repro.errors import ReproError
+from repro.experiments import REGISTRY, run_experiment
+from repro.persist import (
+    load_grouping,
+    load_network,
+    save_grouping,
+    save_network,
+    save_result,
+)
+from repro.simulator import simulate
+from repro.topology import build_network
+from repro.utils.tables import Table
+from repro.workload import generate_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Edge cache group formation (SL/SDSL) — reproduction of "
+            "Ramaswamy, Liu & Zhang, ICDCS 2006"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    net = sub.add_parser(
+        "network", help="generate a transit-stub edge cache network"
+    )
+    net.add_argument("--caches", type=int, default=100)
+    net.add_argument("--seed", type=int, default=7)
+    net.add_argument("--out", help="write the network as .npz")
+
+    form = sub.add_parser(
+        "form-groups", help="partition a network into cooperative groups"
+    )
+    form.add_argument("--network", required=True, help=".npz network file")
+    form.add_argument(
+        "--scheme",
+        default="SDSL",
+        choices=["SL", "SDSL", "random-landmarks", "mindist-landmarks",
+                 "euclidean-gnp", "vivaldi"],
+    )
+    form.add_argument("--k", type=int, required=True)
+    form.add_argument("--landmarks", type=int, default=25)
+    form.add_argument("--seed", type=int, default=7)
+    form.add_argument("--out", help="write the group table as JSON")
+
+    sim = sub.add_parser(
+        "simulate", help="simulate a grouped network under a workload"
+    )
+    sim.add_argument("--network", required=True)
+    sim.add_argument("--groups", required=True, help="JSON group table")
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--requests-per-cache", type=int, default=150)
+    sim.add_argument("--documents", type=int, default=400)
+    sim.add_argument("--export-csv", help="write per-cache stats as CSV")
+    sim.add_argument(
+        "--per-group", action="store_true",
+        help="print the per-group breakdown table",
+    )
+    sim.add_argument(
+        "--trace-stats", action="store_true",
+        help="print workload statistics (Zipf fit, cache similarity)",
+    )
+
+    exp = sub.add_parser(
+        "experiment", help="run a registered paper-figure experiment"
+    )
+    exp.add_argument("figure", choices=[*sorted(REGISTRY), "all"])
+    exp.add_argument("--paper-scale", action="store_true")
+    exp.add_argument("--seed", type=int)
+    exp.add_argument("--repetitions", type=int)
+    exp.add_argument("--plot", action="store_true", help="ASCII chart")
+    exp.add_argument("--out", help="write the result as JSON")
+    exp.add_argument("--csv", help="write the result as CSV")
+    exp.add_argument(
+        "--out-dir",
+        help="(with 'all') archive every figure as JSON/CSV + summary.md",
+    )
+    exp.add_argument(
+        "--figures",
+        help="(with 'all') comma-separated subset, e.g. fig4,fig8",
+    )
+
+    cmp_parser = sub.add_parser(
+        "compare", help="diff two archived experiment results (JSON)"
+    )
+    cmp_parser.add_argument("baseline", help="baseline result JSON")
+    cmp_parser.add_argument("candidate", help="candidate result JSON")
+    cmp_parser.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="relative increase treated as a regression (default 0.15)",
+    )
+
+    return parser
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from repro.topology.stats import network_stats
+
+    network = build_network(num_caches=args.caches, seed=args.seed)
+    print(f"generated: {network_stats(network)}")
+    if args.out:
+        save_network(network, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_form_groups(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    if args.scheme == "vivaldi":
+        # The decentralised scheme has no landmark step to configure.
+        scheme = scheme_by_name(args.scheme)
+    else:
+        landmarks = min(args.landmarks, network.num_caches + 1)
+        scheme = scheme_by_name(
+            args.scheme,
+            landmark_config=LandmarkConfig(num_landmarks=landmarks),
+        )
+    grouping = scheme.form_groups(network, args.k, seed=args.seed)
+    gicost = average_group_interaction_cost(network, grouping)
+    print(
+        f"{grouping.scheme}: {grouping.num_groups} groups, sizes "
+        f"{sorted(grouping.sizes())}, gicost {gicost:.2f} ms"
+    )
+    if args.out:
+        save_grouping(grouping, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    grouping = load_grouping(args.groups)
+    workload = generate_workload(
+        network.cache_nodes,
+        WorkloadConfig(
+            documents=DocumentConfig(num_documents=args.documents),
+            requests_per_cache=args.requests_per_cache,
+        ),
+        seed=args.seed,
+    )
+    if args.trace_stats:
+        from repro.workload.stats import summarize_trace
+
+        print(f"workload: {summarize_trace(workload.requests)}")
+    result = simulate(network, grouping, workload)
+    rates = result.hit_rates()
+    table = Table(["metric", "value"])
+    table.add_row(["requests", result.metrics.total_requests()])
+    table.add_row(["avg latency (ms)", result.average_latency_ms()])
+    table.add_row(["local hit share", rates["local"]])
+    table.add_row(["group hit share", rates["group"]])
+    table.add_row(["origin share", rates["origin"]])
+    table.add_row(["group hit rate (of misses)", result.group_hit_rate()])
+    table.add_row(
+        ["invalidation messages", result.metrics.invalidation_messages]
+    )
+    print(table.render())
+    if args.per_group:
+        from repro.analysis import group_report_table
+
+        print()
+        print(group_report_table(result).render())
+    if args.export_csv:
+        export_cache_stats(result.metrics, args.export_csv)
+        print(f"wrote {args.export_csv}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.figure == "all":
+        from repro.experiments import run_suite
+
+        figures = None
+        if args.figures:
+            figures = [f.strip() for f in args.figures.split(",") if f.strip()]
+        run = run_suite(
+            figures=figures,
+            output_dir=args.out_dir,
+            paper_scale=args.paper_scale,
+            repetitions=args.repetitions,
+            seed=args.seed,
+        )
+        for experiment_id in sorted(run.results):
+            print(run.results[experiment_id].render())
+            print()
+        if run.output_dir is not None:
+            print(f"archived to {run.output_dir}")
+        return 0
+
+    kwargs = {}
+    if args.paper_scale:
+        kwargs["paper_scale"] = True
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.repetitions is not None:
+        kwargs["repetitions"] = args.repetitions
+    try:
+        result = run_experiment(args.figure, **kwargs)
+    except TypeError:
+        # e.g. fig3 takes no --repetitions; re-run with the basics only.
+        kwargs.pop("repetitions", None)
+        result = run_experiment(args.figure, **kwargs)
+    print(result.render())
+    if args.plot:
+        print()
+        print(sketch(result))
+    if args.out:
+        save_result(result, args.out)
+        print(f"wrote {args.out}")
+    if args.csv:
+        export_experiment_result(result, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import compare_results
+    from repro.persist import load_result
+
+    report = compare_results(
+        load_result(args.baseline), load_result(args.candidate)
+    )
+    print(report.render())
+    return 2 if report.regressions(args.tolerance) else 0
+
+
+_COMMANDS = {
+    "network": _cmd_network,
+    "form-groups": _cmd_form_groups,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

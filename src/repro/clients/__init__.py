@@ -1,0 +1,32 @@
+"""Client-side substrate: populations, redirection, perceived latency.
+
+The paper measures latency from the moment a request *arrives at an
+edge cache*.  A full CDN also decides which cache each client reaches
+(DNS/anycast redirection), and the client pays the access RTT on top.
+This package models that last hop:
+
+* :mod:`repro.clients.population` — place client hosts on the topology
+  and compute their RTTs to every cache;
+* :mod:`repro.clients.redirection` — client→cache assignment policies
+  (nearest, random, load-spread nearest-k);
+* :mod:`repro.clients.workload` — per-client request streams folded
+  into the simulator's cache-level request log, plus the access-RTT
+  bookkeeping needed to report *client-perceived* latency.
+"""
+
+from repro.clients.population import ClientPopulation, place_clients
+from repro.clients.redirection import assign_clients
+from repro.clients.workload import (
+    ClientWorkload,
+    client_perceived_latency,
+    generate_client_workload,
+)
+
+__all__ = [
+    "ClientPopulation",
+    "place_clients",
+    "assign_clients",
+    "ClientWorkload",
+    "generate_client_workload",
+    "client_perceived_latency",
+]

@@ -1,0 +1,116 @@
+"""Client populations: hosts on stub routers with RTTs to every cache.
+
+Clients live in access networks, so they are placed on stub routers
+(possibly sharing routers — residential clients are many).  The
+population's RTT matrix to the network nodes is computed once via the
+same shortest-path machinery the node placement uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.topology.distance import compute_rtt_matrix
+from repro.topology.graph import RouterTier
+from repro.topology.network import EdgeCacheNetwork
+from repro.types import NodeId, RouterId
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class ClientPopulation:
+    """M clients with ground-truth RTTs to the network's nodes.
+
+    ``rtt_to_nodes[c, n]`` is client ``c``'s RTT to network node ``n``
+    (column 0 = origin, columns 1.. = caches, matching node ids).
+    """
+
+    client_routers: Tuple[RouterId, ...]
+    rtt_to_nodes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.rtt_to_nodes.ndim != 2:
+            raise PlacementError("rtt_to_nodes must be 2-D")
+        if self.rtt_to_nodes.shape[0] != len(self.client_routers):
+            raise PlacementError(
+                f"{self.rtt_to_nodes.shape[0]} RTT rows for "
+                f"{len(self.client_routers)} clients"
+            )
+        self.rtt_to_nodes.setflags(write=False)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.client_routers)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.rtt_to_nodes.shape[1]
+
+    def rtt_to_cache(self, client: int, cache: NodeId) -> float:
+        """RTT from one client to one cache node."""
+        self._check_client(client)
+        if not 1 <= cache < self.num_nodes:
+            raise PlacementError(f"node {cache} is not a cache")
+        return float(self.rtt_to_nodes[client, cache])
+
+    def nearest_cache(self, client: int) -> NodeId:
+        """The cache with the smallest RTT from this client."""
+        self._check_client(client)
+        return int(np.argmin(self.rtt_to_nodes[client, 1:])) + 1
+
+    def nearest_caches(self, client: int, count: int) -> List[NodeId]:
+        """The ``count`` caches nearest this client, nearest first."""
+        self._check_client(client)
+        num_caches = self.num_nodes - 1
+        if not 1 <= count <= num_caches:
+            raise PlacementError(
+                f"count must be in [1, {num_caches}], got {count}"
+            )
+        order = np.argsort(self.rtt_to_nodes[client, 1:], kind="stable")
+        return [int(i) + 1 for i in order[:count]]
+
+    def _check_client(self, client: int) -> None:
+        if not 0 <= client < self.num_clients:
+            raise PlacementError(
+                f"client {client} out of range [0, {self.num_clients})"
+            )
+
+
+def place_clients(
+    network: EdgeCacheNetwork,
+    num_clients: int,
+    seed: SeedLike = None,
+) -> ClientPopulation:
+    """Place ``num_clients`` on the network's stub routers (with reuse).
+
+    Requires a network built with its topology graph attached
+    (:func:`repro.topology.build_network` does this; a network loaded
+    from a distance-matrix archive cannot place clients).
+    """
+    if num_clients < 1:
+        raise PlacementError(f"num_clients must be >= 1, got {num_clients}")
+    if network.graph is None or network.placement is None:
+        raise PlacementError(
+            "client placement needs the topology graph; this network "
+            "carries only a distance matrix"
+        )
+    rng = spawn_rng(seed)
+    stubs = network.graph.routers_in_tier(RouterTier.STUB)
+    if not stubs:
+        raise PlacementError("topology has no stub routers for clients")
+    picks = rng.integers(len(stubs), size=num_clients)
+    client_routers = tuple(int(stubs[int(i)]) for i in picks)
+
+    node_routers = network.placement.node_routers
+    combined = compute_rtt_matrix(
+        network.graph, [*node_routers, *client_routers]
+    )
+    node_count = len(node_routers)
+    block = combined.as_array()[node_count:, :node_count]
+    return ClientPopulation(
+        client_routers=client_routers, rtt_to_nodes=block.copy()
+    )

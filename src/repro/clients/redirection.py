@@ -1,0 +1,72 @@
+"""Client→cache redirection policies.
+
+Redirection decides which edge cache serves each client:
+
+* ``"nearest"`` — lowest-RTT cache (ideal DNS/anycast);
+* ``"nearest-k"`` — uniform among the client's ``k`` nearest caches
+  (models load-spreading and imperfect geo-mapping);
+* ``"random"`` — uniform over all caches (the degenerate baseline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clients.population import ClientPopulation
+from repro.errors import PlacementError
+from repro.utils.rng import SeedLike, spawn_rng
+
+POLICIES = ("nearest", "nearest-k", "random")
+
+
+def assign_clients(
+    population: ClientPopulation,
+    policy: str = "nearest",
+    k: int = 3,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Return one cache node id per client.
+
+    ``k`` applies only to the ``"nearest-k"`` policy.
+    """
+    if policy not in POLICIES:
+        raise PlacementError(
+            f"unknown redirection policy {policy!r}; "
+            f"known: {', '.join(POLICIES)}"
+        )
+    rng = spawn_rng(seed)
+    num_caches = population.num_nodes - 1
+    assignment = np.empty(population.num_clients, dtype=int)
+
+    if policy == "nearest":
+        for client in range(population.num_clients):
+            assignment[client] = population.nearest_cache(client)
+    elif policy == "nearest-k":
+        if not 1 <= k <= num_caches:
+            raise PlacementError(
+                f"k must be in [1, {num_caches}], got {k}"
+            )
+        for client in range(population.num_clients):
+            candidates = population.nearest_caches(client, k)
+            assignment[client] = candidates[int(rng.integers(len(candidates)))]
+    else:  # random
+        assignment[:] = rng.integers(1, num_caches + 1,
+                                     size=population.num_clients)
+    return assignment
+
+
+def mean_access_rtt(
+    population: ClientPopulation, assignment: np.ndarray
+) -> float:
+    """Mean client→assigned-cache RTT (the redirection quality metric)."""
+    assignment = np.asarray(assignment, dtype=int)
+    if assignment.shape != (population.num_clients,):
+        raise PlacementError(
+            f"assignment covers {assignment.shape} clients, population "
+            f"has {population.num_clients}"
+        )
+    rtts = [
+        population.rtt_to_cache(client, int(assignment[client]))
+        for client in range(population.num_clients)
+    ]
+    return float(np.mean(rtts))

@@ -1,0 +1,40 @@
+"""Clustering algorithms — SL step 3 and the SDSL variant.
+
+* :mod:`repro.clustering.kmeans` — the K-means algorithm with pluggable
+  initialization (paper Section 3.3);
+* :mod:`repro.clustering.init` — center initializers: uniform random
+  (SL), server-distance-biased (SDSL, ``Pr ∝ 1/d^θ``), and k-means++
+  (extension);
+* :mod:`repro.clustering.kmedoids` — a k-medoids baseline (extension);
+* :mod:`repro.clustering.quality` — within-cluster quality measures.
+"""
+
+from repro.clustering.assignments import Clustering
+from repro.clustering.init import (
+    CenterInitializer,
+    KMeansPlusPlusInit,
+    ServerDistanceBiasedInit,
+    UniformRandomInit,
+)
+from repro.clustering.hierarchical import HierarchicalClustering
+from repro.clustering.kmeans import KMeans
+from repro.clustering.kmedoids import KMedoids
+from repro.clustering.quality import (
+    mean_intra_cluster_distance,
+    silhouette_score,
+    within_cluster_sse,
+)
+
+__all__ = [
+    "Clustering",
+    "CenterInitializer",
+    "UniformRandomInit",
+    "ServerDistanceBiasedInit",
+    "KMeansPlusPlusInit",
+    "KMeans",
+    "KMedoids",
+    "HierarchicalClustering",
+    "within_cluster_sse",
+    "mean_intra_cluster_distance",
+    "silhouette_score",
+]

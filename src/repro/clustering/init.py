@@ -1,0 +1,165 @@
+"""K-means center initializers.
+
+The difference between the paper's SL and SDSL schemes is *entirely*
+here: SL picks initial centers uniformly at random, SDSL biases the
+pick towards caches close to the origin server with
+``Pr(Ec_j) ∝ 1 / Dist(Ec_j, Os)^θ`` (paper Section 4.1).  K-means++ is
+provided as a modern extension baseline for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+class CenterInitializer(abc.ABC):
+    """Strategy interface: choose K initial centers from the points."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        points: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return indices of ``k`` distinct points to seed the clusters."""
+
+    @staticmethod
+    def _check(points: np.ndarray, k: int) -> None:
+        if points.ndim != 2:
+            raise ClusteringError("points must be an (n, d) array")
+        n = points.shape[0]
+        if not 1 <= k <= n:
+            raise ClusteringError(
+                f"k must be in [1, {n}] (number of points), got {k}"
+            )
+
+
+class UniformRandomInit(CenterInitializer):
+    """Uniform random centers — the plain SL scheme's initialization.
+
+    Matches the paper's requirement that "any cache may be selected to
+    an initial cluster center with equal probability" while "ensuring
+    that all regions of the edge cache network are represented": we draw
+    without replacement, so K distinct caches always seed K clusters.
+    """
+
+    name = "uniform"
+
+    def choose(
+        self,
+        points: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        self._check(points, k)
+        return rng.choice(points.shape[0], size=k, replace=False)
+
+
+class ServerDistanceBiasedInit(CenterInitializer):
+    """SDSL initialization: ``Pr(point j) ∝ 1 / server_distance[j]^θ``.
+
+    ``server_distances[j]`` must give the RTT from point ``j`` (a cache)
+    to the origin server.  θ = 0 reduces exactly to uniform sampling;
+    larger θ concentrates centers near the origin, which yields compact
+    groups there and progressively larger groups farther away.
+    """
+
+    name = "sdsl"
+
+    def __init__(self, server_distances: np.ndarray, theta: float = 1.0) -> None:
+        server_distances = np.asarray(server_distances, dtype=float)
+        if server_distances.ndim != 1:
+            raise ClusteringError("server_distances must be 1-D")
+        if np.any(server_distances < 0):
+            raise ClusteringError("server distances cannot be negative")
+        if theta < 0:
+            raise ClusteringError(f"theta must be >= 0, got {theta}")
+        self._distances = server_distances
+        self._theta = theta
+
+    @property
+    def theta(self) -> float:
+        return self._theta
+
+    def selection_probabilities(self) -> np.ndarray:
+        """The normalised per-point selection probabilities."""
+        # Guard zero distances (a cache co-located with the origin):
+        # clamp to the smallest positive distance so it ties with the
+        # nearest cache instead of getting infinite weight.
+        dist = self._distances.copy()
+        positive = dist[dist > 0]
+        floor = float(positive.min()) if positive.size else 1.0
+        dist = np.maximum(dist, floor)
+        # Compute d^-theta in log space and shift by the maximum so the
+        # exponentials cannot overflow even for extreme distance ratios.
+        log_weights = -self._theta * np.log(dist)
+        log_weights -= log_weights.max()
+        weights = np.exp(log_weights)
+        total = weights.sum()
+        if not np.isfinite(total) or total <= 0:
+            raise ClusteringError(
+                "degenerate SDSL weights; check server distances and theta"
+            )
+        return weights / total
+
+    def choose(
+        self,
+        points: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        self._check(points, k)
+        if self._distances.shape[0] != points.shape[0]:
+            raise ClusteringError(
+                f"server_distances covers {self._distances.shape[0]} points "
+                f"but clustering {points.shape[0]}"
+            )
+        probs = self.selection_probabilities()
+        return rng.choice(points.shape[0], size=k, replace=False, p=probs)
+
+
+class KMeansPlusPlusInit(CenterInitializer):
+    """k-means++ seeding (extension; not in the paper).
+
+    Included for ablation benches: the paper predates k-means++, and the
+    comparison shows how much of SDSL's benefit is *distance-to-server*
+    information rather than merely better-spread seeds.
+    """
+
+    name = "kmeans++"
+
+    def choose(
+        self,
+        points: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        self._check(points, k)
+        n = points.shape[0]
+        chosen = [int(rng.integers(n))]
+        closest_sq = ((points - points[chosen[0]]) ** 2).sum(axis=1)
+        while len(chosen) < k:
+            total = closest_sq.sum()
+            if total <= 0:
+                # All remaining points coincide with a center; fall back
+                # to uniform choice among the unchosen.
+                remaining = np.setdiff1d(np.arange(n), np.asarray(chosen))
+                pick = int(remaining[int(rng.integers(remaining.size))])
+            else:
+                probs = closest_sq / total
+                pick = int(rng.choice(n, p=probs))
+                if pick in chosen:
+                    remaining = np.setdiff1d(np.arange(n), np.asarray(chosen))
+                    pick = int(remaining[int(rng.integers(remaining.size))])
+            chosen.append(pick)
+            dist_sq = ((points - points[pick]) ** 2).sum(axis=1)
+            closest_sq = np.minimum(closest_sq, dist_sq)
+        return np.asarray(chosen, dtype=int)

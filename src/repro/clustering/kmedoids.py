@@ -1,0 +1,72 @@
+"""K-medoids (PAM-style) clustering — an extension baseline.
+
+Not in the paper; included because the paper notes "any standard
+clustering algorithm may be similarly modified".  K-medoids works
+directly on a dissimilarity matrix, so it can cluster on *measured RTTs*
+without a feature-space detour — the ablation benches use it to bound
+how much accuracy the feature-vector indirection costs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.assignments import Clustering
+from repro.errors import ClusteringError
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+class KMedoids:
+    """Alternating k-medoids over a precomputed dissimilarity matrix."""
+
+    def __init__(self, k: int, max_iterations: int = 100) -> None:
+        if k < 1:
+            raise ClusteringError(f"k must be >= 1, got {k}")
+        if max_iterations < 1:
+            raise ClusteringError("max_iterations must be >= 1")
+        self._k = k
+        self._max_iterations = max_iterations
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def fit(self, dissimilarity: np.ndarray, seed: SeedLike = None) -> Clustering:
+        """Cluster on an ``(n, n)`` symmetric dissimilarity matrix."""
+        d = np.asarray(dissimilarity, dtype=float)
+        if d.ndim != 2 or d.shape[0] != d.shape[1]:
+            raise ClusteringError(f"dissimilarity must be square, got {d.shape}")
+        n = d.shape[0]
+        if self._k > n:
+            raise ClusteringError(f"k={self._k} exceeds {n} points")
+        if np.any(d < 0):
+            raise ClusteringError("dissimilarities cannot be negative")
+
+        rng = spawn_rng(seed)
+        medoids = rng.choice(n, size=self._k, replace=False)
+        labels = np.argmin(d[:, medoids], axis=1)
+
+        iterations = 0
+        for iterations in range(1, self._max_iterations + 1):
+            new_medoids = medoids.copy()
+            for cluster in range(self._k):
+                members = np.flatnonzero(labels == cluster)
+                if members.size == 0:
+                    continue
+                # The member minimising total intra-cluster dissimilarity.
+                costs = d[np.ix_(members, members)].sum(axis=1)
+                new_medoids[cluster] = members[int(np.argmin(costs))]
+            new_labels = np.argmin(d[:, new_medoids], axis=1)
+            changed = not np.array_equal(new_medoids, medoids)
+            medoids, labels = new_medoids, new_labels
+            if not changed:
+                break
+
+        centers = d[medoids][:, medoids]  # placeholder center summary
+        cost = float(d[np.arange(n), medoids[labels]].sum())
+        return Clustering(
+            labels=labels, k=self._k, centers=centers,
+            iterations=iterations, sse=cost,
+        )

@@ -1,0 +1,93 @@
+"""Cluster-quality measures.
+
+``mean_intra_cluster_distance`` over the *ground-truth* RTT matrix is
+exactly the paper's clustering-accuracy proxy (the average group
+interaction cost lives in :mod:`repro.analysis.gicost`; this module
+holds the generic geometry variants used by unit tests and ablations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.assignments import Clustering
+from repro.errors import ClusteringError
+
+
+def within_cluster_sse(points: np.ndarray, clustering: Clustering) -> float:
+    """Sum of squared distances of points to their cluster mean."""
+    points = np.asarray(points, dtype=float)
+    _check_sizes(points.shape[0], clustering)
+    total = 0.0
+    for cluster in clustering.non_empty_clusters():
+        members = clustering.members(cluster)
+        center = points[members].mean(axis=0)
+        total += float(((points[members] - center) ** 2).sum())
+    return total
+
+
+def mean_intra_cluster_distance(
+    dissimilarity: np.ndarray, clustering: Clustering
+) -> float:
+    """Mean of per-cluster average pairwise dissimilarities.
+
+    Per the paper's definition of average group interaction cost: first
+    average within each group (over all pairs), then average over groups.
+    Singleton clusters contribute 0 (no pairs, no interaction cost).
+    """
+    d = np.asarray(dissimilarity, dtype=float)
+    _check_sizes(d.shape[0], clustering)
+    per_cluster = []
+    for cluster in clustering.non_empty_clusters():
+        members = clustering.members(cluster)
+        m = members.size
+        if m < 2:
+            per_cluster.append(0.0)
+            continue
+        block = d[np.ix_(members, members)]
+        # Sum of strict upper triangle over the pair count.
+        pair_sum = float(np.triu(block, k=1).sum())
+        per_cluster.append(pair_sum / (m * (m - 1) / 2))
+    if not per_cluster:
+        raise ClusteringError("clustering has no non-empty clusters")
+    return float(np.mean(per_cluster))
+
+
+def silhouette_score(dissimilarity: np.ndarray, clustering: Clustering) -> float:
+    """Mean silhouette coefficient over all points (extension metric).
+
+    Points in singleton clusters score 0 by convention.  Requires at
+    least 2 non-empty clusters.
+    """
+    d = np.asarray(dissimilarity, dtype=float)
+    n = d.shape[0]
+    _check_sizes(n, clustering)
+    clusters = clustering.non_empty_clusters()
+    if len(clusters) < 2:
+        raise ClusteringError("silhouette needs >= 2 non-empty clusters")
+
+    members_of = {c: clustering.members(c) for c in clusters}
+    scores = np.zeros(n, dtype=float)
+    for i in range(n):
+        own = int(clustering.labels[i])
+        own_members = members_of[own]
+        if own_members.size <= 1:
+            scores[i] = 0.0
+            continue
+        a = float(d[i, own_members].sum() / (own_members.size - 1))
+        b = min(
+            float(d[i, members_of[other]].mean())
+            for other in clusters
+            if other != own
+        )
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def _check_sizes(n_points: int, clustering: Clustering) -> None:
+    if clustering.num_points != n_points:
+        raise ClusteringError(
+            f"clustering covers {clustering.num_points} points, data has "
+            f"{n_points}"
+        )

@@ -1,0 +1,52 @@
+"""Virtual landmarks: Lipschitz embedding + PCA (extension).
+
+Tang & Crovella (IMC 2003), cited by the paper: treat each node's vector
+of RTTs-to-landmarks as a Lipschitz embedding, then project onto the top
+principal components to obtain a compact coordinate space.  This sits
+between the paper's raw feature vectors (no projection) and GNP
+(non-linear optimisation): it is linear, deterministic, and cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.landmarks.feature_vectors import FeatureVectors
+
+
+def virtual_landmark_embedding(
+    features: FeatureVectors,
+    dimensions: Optional[int] = None,
+    center: bool = True,
+) -> np.ndarray:
+    """Project feature vectors onto their top principal components.
+
+    Returns an ``(n, dimensions)`` coordinate array, row order matching
+    ``features.nodes``.  ``dimensions`` defaults to the number of
+    components explaining 95% of the variance (at least 2).
+    """
+    matrix = np.asarray(features.matrix, dtype=float)
+    n, l = matrix.shape
+    if n < 2:
+        raise EmbeddingError("need at least 2 nodes to embed")
+    if dimensions is not None and not 1 <= dimensions <= l:
+        raise EmbeddingError(
+            f"dimensions must be in [1, {l}], got {dimensions}"
+        )
+
+    data = matrix - matrix.mean(axis=0) if center else matrix
+    # SVD of the (n, l) data matrix: principal axes are the right
+    # singular vectors; projections are U * S.
+    u, s, _vt = np.linalg.svd(data, full_matrices=False)
+    if dimensions is None:
+        total = float((s**2).sum())
+        if total == 0.0:
+            dimensions = min(2, s.size)
+        else:
+            explained = np.cumsum(s**2) / total
+            dimensions = max(2, int(np.searchsorted(explained, 0.95) + 1))
+            dimensions = min(dimensions, s.size)
+    return u[:, :dimensions] * s[:dimensions]

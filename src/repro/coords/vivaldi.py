@@ -1,0 +1,129 @@
+"""Vivaldi decentralised network coordinates (extension).
+
+Dabek et al., SIGCOMM 2004 — cited by the paper as related work.  Each
+node maintains a D-dimensional coordinate and a confidence weight; on
+observing an RTT sample to a peer it nudges its coordinate along the
+error gradient, like a relaxing spring network.  Included so ablation
+benches can compare a decentralised embedding against GNP and raw
+feature vectors for the cache-grouping task.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.probing.prober import Prober
+from repro.types import NodeId
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+class VivaldiCoordinates:
+    """A Vivaldi coordinate system over a fixed node population."""
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeId],
+        dimensions: int = 3,
+        ce: float = 0.25,
+        cc: float = 0.25,
+        seed: SeedLike = None,
+    ) -> None:
+        if dimensions < 1:
+            raise EmbeddingError("dimensions must be >= 1")
+        if not 0 < ce <= 1 or not 0 < cc <= 1:
+            raise EmbeddingError("ce and cc must be in (0, 1]")
+        nodes = list(nodes)
+        if len(nodes) < 2:
+            raise EmbeddingError("Vivaldi needs at least two nodes")
+        self._nodes: Tuple[NodeId, ...] = tuple(nodes)
+        self._index = {n: i for i, n in enumerate(nodes)}
+        self._dims = dimensions
+        self._ce = ce
+        self._cc = cc
+        rng = spawn_rng(seed)
+        # Small random start breaks the all-at-origin symmetry.
+        self._coords = rng.normal(0.0, 1.0, size=(len(nodes), dimensions))
+        self._error = np.ones(len(nodes), dtype=float)
+        self._rng = rng
+
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        return self._nodes
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """Current coordinates (copy), row order matching ``nodes``."""
+        return self._coords.copy()
+
+    def observe(self, a: NodeId, b: NodeId, rtt_ms: float) -> None:
+        """Fold one RTT sample into node ``a``'s coordinate (Vivaldi update)."""
+        if rtt_ms < 0:
+            raise EmbeddingError(f"rtt cannot be negative: {rtt_ms}")
+        i, j = self._row(a), self._row(b)
+        diff = self._coords[i] - self._coords[j]
+        dist = float(np.linalg.norm(diff))
+        if dist == 0.0:
+            direction = self._rng.normal(size=self._dims)
+            direction /= np.linalg.norm(direction)
+            dist = 1e-6
+        else:
+            direction = diff / dist
+
+        sample_err = abs(dist - rtt_ms) / rtt_ms if rtt_ms > 0 else 0.0
+        w = self._error[i] / max(self._error[i] + self._error[j], 1e-12)
+        self._error[i] = min(
+            1.0, sample_err * self._ce * w + self._error[i] * (1 - self._ce * w)
+        )
+        delta = self._cc * w
+        self._coords[i] += delta * (rtt_ms - dist) * direction
+
+    def run(
+        self,
+        prober: Prober,
+        rounds: int = 20,
+        neighbors_per_round: int = 8,
+    ) -> None:
+        """Drive the system: each round, every node samples random peers."""
+        if rounds < 1 or neighbors_per_round < 1:
+            raise EmbeddingError("rounds and neighbors_per_round must be >= 1")
+        count = len(self._nodes)
+        for _ in range(rounds):
+            for i, node in enumerate(self._nodes):
+                picks = self._rng.choice(
+                    count, size=min(neighbors_per_round, count - 1), replace=False
+                )
+                for j in picks:
+                    if int(j) == i:
+                        continue
+                    peer = self._nodes[int(j)]
+                    self.observe(node, peer, prober.measure(node, peer))
+
+    def distance(self, a: NodeId, b: NodeId) -> float:
+        """Predicted RTT between two nodes (coordinate L2 distance)."""
+        return float(
+            np.linalg.norm(self._coords[self._row(a)] - self._coords[self._row(b)])
+        )
+
+    def mean_relative_error(self, prober: Prober, samples: int = 200) -> float:
+        """Embedding quality: mean |predicted - measured| / measured."""
+        count = len(self._nodes)
+        errors = []
+        for _ in range(samples):
+            i, j = self._rng.choice(count, size=2, replace=False)
+            a, b = self._nodes[int(i)], self._nodes[int(j)]
+            measured = prober.measure(a, b)
+            if measured <= 0:
+                continue
+            errors.append(abs(self.distance(a, b) - measured) / measured)
+        if not errors:
+            raise EmbeddingError("no valid samples for error estimate")
+        return float(np.mean(errors))
+
+    def _row(self, node: NodeId) -> int:
+        try:
+            return self._index[node]
+        except KeyError:
+            raise EmbeddingError(f"node {node} not in the Vivaldi system") from None

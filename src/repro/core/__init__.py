@@ -1,0 +1,41 @@
+"""The paper's primary contribution: cache-group formation schemes.
+
+:class:`GFCoordinator` orchestrates the three steps (landmark choice,
+feature vectors, clustering); the scheme classes bundle the paper's five
+evaluated configurations behind one ``form_groups`` call:
+
+* :class:`SLScheme` — greedy landmarks + feature vectors + K-means;
+* :class:`SDSLScheme` — SL with server-distance-biased K-means seeding;
+* :class:`RandomLandmarksScheme` — random landmark baseline;
+* :class:`MinDistLandmarksScheme` — min-dist landmark baseline;
+* :class:`EuclideanGNPScheme` — GNP coordinates + K-means baseline.
+"""
+
+from repro.core.groups import CacheGroup, GroupingResult
+from repro.core.coordinator import GFCoordinator
+from repro.core.membership import MembershipManager
+from repro.core.schemes import (
+    EuclideanGNPScheme,
+    GroupFormationScheme,
+    MinDistLandmarksScheme,
+    RandomLandmarksScheme,
+    SDSLScheme,
+    SLScheme,
+    VivaldiScheme,
+    scheme_by_name,
+)
+
+__all__ = [
+    "CacheGroup",
+    "GroupingResult",
+    "GFCoordinator",
+    "MembershipManager",
+    "GroupFormationScheme",
+    "SLScheme",
+    "SDSLScheme",
+    "RandomLandmarksScheme",
+    "MinDistLandmarksScheme",
+    "EuclideanGNPScheme",
+    "VivaldiScheme",
+    "scheme_by_name",
+]

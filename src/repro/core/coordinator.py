@@ -1,0 +1,135 @@
+"""The Group Formation Coordinator (GF-Coordinator).
+
+The paper's GF-Coordinator "coordinates the execution of the three
+steps": landmark choice, feature-vector construction, and clustering.
+:class:`GFCoordinator` owns the :class:`repro.probing.Prober` (so all
+measurement flows through one accounted channel) and exposes each step
+separately — schemes compose them, and tests can interrogate
+intermediate state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.init import CenterInitializer, UniformRandomInit
+from repro.clustering.kmeans import KMeans
+from repro.config import KMeansConfig, LandmarkConfig, ProbeConfig
+from repro.core.groups import GroupingResult, groups_from_labels
+from repro.errors import SchemeError
+from repro.landmarks.base import LandmarkSelector, LandmarkSet
+from repro.landmarks.feature_vectors import FeatureVectors, build_feature_vectors
+from repro.probing.prober import Prober
+from repro.topology.network import EdgeCacheNetwork
+from repro.utils.rng import RngFactory, SeedLike
+
+
+class GFCoordinator:
+    """Runs the three-step group-formation pipeline over one network."""
+
+    def __init__(
+        self,
+        network: EdgeCacheNetwork,
+        probe_config: Optional[ProbeConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self._network = network
+        if isinstance(seed, np.random.Generator):
+            # Derive a reproducible root from the caller's stream (one
+            # draw) instead of silently falling back to OS entropy.
+            root: Optional[int] = int(seed.integers(2**63))
+        elif isinstance(seed, (int, np.integer)):
+            root = int(seed)
+        else:
+            root = None
+        self._rng_factory = RngFactory(root)
+        self._prober = Prober(
+            network,
+            config=probe_config,
+            seed=self._rng_factory.stream("probe"),
+        )
+
+    @property
+    def network(self) -> EdgeCacheNetwork:
+        return self._network
+
+    @property
+    def prober(self) -> Prober:
+        return self._prober
+
+    # -- step 1 ----------------------------------------------------------
+
+    def choose_landmarks(
+        self,
+        selector: LandmarkSelector,
+        config: Optional[LandmarkConfig] = None,
+    ) -> LandmarkSet:
+        """Step 1: run a landmark selector over the network."""
+        config = config or LandmarkConfig()
+        return selector.select(
+            self._prober, config, self._rng_factory.stream("landmarks")
+        )
+
+    # -- step 2 ----------------------------------------------------------
+
+    def build_features(self, landmarks: LandmarkSet) -> FeatureVectors:
+        """Step 2: every cache probes every landmark."""
+        return build_feature_vectors(self._prober, landmarks)
+
+    def measured_server_distances(self, features: FeatureVectors) -> np.ndarray:
+        """Per-cache measured RTT to the origin, extracted from features.
+
+        The origin server is always landmark 0, so its feature-vector
+        column *is* the measured server distance — SDSL needs no extra
+        probes beyond what SL already issued.
+        """
+        origin_column = list(features.landmarks).index(
+            self._network.origin
+        )
+        return features.matrix[:, origin_column].copy()
+
+    # -- step 3 ----------------------------------------------------------
+
+    def cluster(
+        self,
+        features: FeatureVectors,
+        k: int,
+        scheme_name: str,
+        initializer: Optional[CenterInitializer] = None,
+        kmeans_config: Optional[KMeansConfig] = None,
+        points: Optional[np.ndarray] = None,
+    ) -> GroupingResult:
+        """Step 3: K-means over feature vectors (or supplied coordinates).
+
+        ``points`` overrides the clustered representation (used by the
+        GNP scheme, which clusters Euclidean coordinates but keeps the
+        feature provenance); row order must match ``features.nodes``.
+        """
+        if k < 1:
+            raise SchemeError(f"number of groups must be >= 1, got {k}")
+        if k > len(features.nodes):
+            raise SchemeError(
+                f"cannot form {k} groups from {len(features.nodes)} caches"
+            )
+        data = features.matrix if points is None else np.asarray(points, float)
+        if data.shape[0] != len(features.nodes):
+            raise SchemeError(
+                f"clustering data has {data.shape[0]} rows for "
+                f"{len(features.nodes)} caches"
+            )
+        kmeans = KMeans(
+            k=k,
+            config=kmeans_config,
+            initializer=initializer or UniformRandomInit(),
+        )
+        clustering = kmeans.fit(data, seed=self._rng_factory.stream("kmeans"))
+        groups = groups_from_labels(list(features.nodes), clustering.labels)
+        return GroupingResult(
+            scheme=scheme_name,
+            groups=groups,
+            landmarks=features.landmarks,
+            features=features,
+            clustering=clustering,
+        )

@@ -1,0 +1,202 @@
+"""Dynamic group membership: caches joining and leaving formed groups.
+
+The paper forms groups for a fixed cache population; a deployed edge
+network also sees caches added (new PoPs) and removed (maintenance).
+Re-running the full pipeline per event would re-probe everything, so
+:class:`MembershipManager` maintains a grouping incrementally:
+
+* **join** — a new cache positions itself and enters the best group,
+  by one of two strategies:
+
+  - ``"landmarks"`` (used when the grouping carries K-means provenance):
+    the cache probes the original landmark set, and joins the group
+    whose cluster center is nearest in feature space — SL step 2 + a
+    single nearest-center step, exactly what the scheme would have done;
+  - ``"peer-probe"`` (fallback for provenance-free groupings, e.g.
+    loaded from a JSON group table): the cache probes a sampled member
+    of each group and joins the group with the nearest sample.
+
+* **leave** — the cache exits its group; emptied groups are dropped.
+
+* **churn accounting** — the manager tracks how far the grouping has
+  drifted from its formation state, so operators can trigger a full
+  re-clustering once churn crosses a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.core.groups import CacheGroup, GroupingResult
+from repro.errors import SchemeError
+from repro.landmarks.feature_vectors import build_feature_vectors
+from repro.probing.prober import Prober
+from repro.types import NodeId
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+class MembershipManager:
+    """Incrementally maintains a grouping under cache churn."""
+
+    def __init__(self, grouping: GroupingResult) -> None:
+        self._scheme = grouping.scheme
+        self._landmarks = grouping.landmarks
+        self._members: Dict[int, Set[NodeId]] = {
+            g.group_id: set(g.members) for g in grouping.groups
+        }
+        self._group_of: Dict[NodeId, int] = grouping.membership()
+        self._next_group_id = max(self._members) + 1
+
+        # Feature-space centers, if the grouping carries provenance.
+        self._centers: Optional[np.ndarray] = None
+        if grouping.clustering is not None and grouping.features is not None:
+            # Recompute per-*group* centers from the final assignment
+            # (clustering.centers indexes clusters, which were
+            # renumbered into dense group ids).
+            features = grouping.features
+            index_of = features.index_of()
+            centers = []
+            for group in grouping.groups:
+                rows = [index_of[m] for m in group.members]
+                centers.append(features.matrix[rows].mean(axis=0))
+            self._centers = np.asarray(centers)
+            self._center_group_ids = [g.group_id for g in grouping.groups]
+
+        self._joins = 0
+        self._leaves = 0
+        self._formed_size = len(self._group_of)
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._members)
+
+    def group_of(self, node: NodeId) -> int:
+        try:
+            return self._group_of[node]
+        except KeyError:
+            raise SchemeError(f"cache {node} is not in any group") from None
+
+    def members_of(self, group_id: int) -> List[NodeId]:
+        try:
+            return sorted(self._members[group_id])
+        except KeyError:
+            raise SchemeError(f"no group {group_id}") from None
+
+    def churn_fraction(self) -> float:
+        """Joins + leaves since formation, relative to the formed size."""
+        if self._formed_size == 0:
+            return 0.0
+        return (self._joins + self._leaves) / self._formed_size
+
+    def needs_reclustering(self, threshold: float = 0.25) -> bool:
+        """True once cumulative churn exceeds ``threshold``."""
+        if not 0 < threshold:
+            raise SchemeError(f"threshold must be > 0, got {threshold}")
+        return self.churn_fraction() > threshold
+
+    def current_grouping(self) -> GroupingResult:
+        """An immutable snapshot of the current group table."""
+        groups = tuple(
+            CacheGroup(group_id=new_id, members=tuple(sorted(members)))
+            for new_id, (_old_id, members) in enumerate(
+                sorted(self._members.items())
+            )
+            if members
+        )
+        return GroupingResult(
+            scheme=f"{self._scheme}+churn",
+            groups=groups,
+            landmarks=self._landmarks,
+        )
+
+    # -- mutation --------------------------------------------------------
+
+    def join(
+        self,
+        prober: Prober,
+        node: NodeId,
+        seed: SeedLike = None,
+        samples_per_group: int = 1,
+    ) -> int:
+        """Place a new cache into the best existing group.
+
+        Returns the chosen group id.  Raises if the cache is already
+        grouped.
+        """
+        if node in self._group_of:
+            raise SchemeError(f"cache {node} is already in a group")
+        if self._centers is not None and self._landmarks is not None:
+            group_id = self._join_by_landmarks(prober, node)
+        else:
+            group_id = self._join_by_peer_probe(
+                prober, node, seed, samples_per_group
+            )
+        self._members[group_id].add(node)
+        self._group_of[node] = group_id
+        self._joins += 1
+        return group_id
+
+    def leave(self, node: NodeId) -> int:
+        """Remove a cache from its group; returns the group id it left.
+
+        A group emptied by the departure is dropped (its id retires).
+        """
+        group_id = self.group_of(node)
+        self._members[group_id].discard(node)
+        del self._group_of[node]
+        self._leaves += 1
+        if not self._members[group_id]:
+            del self._members[group_id]
+        return group_id
+
+    # -- strategies --------------------------------------------------------
+
+    def _join_by_landmarks(self, prober: Prober, node: NodeId) -> int:
+        """SL-style: probe the landmarks, join the nearest center."""
+        assert self._landmarks is not None and self._centers is not None
+        features = build_feature_vectors(
+            prober, self._landmarks, nodes=[node]
+        )
+        vector = features.matrix[0]
+        distances = np.linalg.norm(self._centers - vector[None, :], axis=1)
+        # Only consider groups that still exist (ids may have retired).
+        order = np.argsort(distances)
+        for idx in order:
+            group_id = self._center_group_ids[int(idx)]
+            if group_id in self._members:
+                return group_id
+        raise SchemeError("no live groups left to join")
+
+    def _join_by_peer_probe(
+        self,
+        prober: Prober,
+        node: NodeId,
+        seed: SeedLike,
+        samples_per_group: int,
+    ) -> int:
+        """Provenance-free: probe sampled members of each group."""
+        if samples_per_group < 1:
+            raise SchemeError(
+                f"samples_per_group must be >= 1, got {samples_per_group}"
+            )
+        rng = spawn_rng(seed)
+        best_group: Optional[int] = None
+        best_rtt = np.inf
+        for group_id, members in sorted(self._members.items()):
+            if not members:
+                continue
+            pool = sorted(members)
+            count = min(samples_per_group, len(pool))
+            picks = rng.choice(len(pool), size=count, replace=False)
+            rtts = [prober.measure(node, pool[int(i)]) for i in picks]
+            mean_rtt = float(np.mean(rtts))
+            if mean_rtt < best_rtt:
+                best_rtt = mean_rtt
+                best_group = group_id
+        if best_group is None:
+            raise SchemeError("no live groups left to join")
+        return best_group

@@ -1,0 +1,34 @@
+"""Experiment harness: one module per paper figure.
+
+Each ``run_figN`` function regenerates the corresponding figure's
+rows/series as an :class:`repro.analysis.report.ExperimentResult`.
+Default sizes are laptop-scale; pass ``paper_scale=True`` for the
+paper's 100–500-cache sweeps (minutes instead of seconds).
+
+The :data:`REGISTRY` maps experiment ids to runner functions so the
+benchmark harness and EXPERIMENTS.md index stay in sync.
+"""
+
+from repro.experiments.registry import REGISTRY, run_experiment
+from repro.experiments.suite import SuiteRun, run_suite
+from repro.experiments.fig3_groupsize import run_fig3
+from repro.experiments.fig4_landmark_accuracy_size import run_fig4
+from repro.experiments.fig5_landmark_accuracy_groups import run_fig5
+from repro.experiments.fig6_num_landmarks import run_fig6
+from repro.experiments.fig7_feature_vs_euclidean import run_fig7
+from repro.experiments.fig8_sdsl_vs_sl_size import run_fig8
+from repro.experiments.fig9_sdsl_vs_sl_groups import run_fig9
+
+__all__ = [
+    "REGISTRY",
+    "run_experiment",
+    "SuiteRun",
+    "run_suite",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+]

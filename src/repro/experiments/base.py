@@ -1,0 +1,97 @@
+"""Shared experiment plumbing.
+
+Every figure experiment needs the same ingredients: a network of N
+caches, an Olympics-like workload over those caches, scheme runs, and a
+simulated latency per grouping.  This module centralises those with the
+evaluation-wide default parameters so figures differ only in what they
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import (
+    DocumentConfig,
+    LandmarkConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.core.groups import GroupingResult
+from repro.simulator.runner import SimulationResult, simulate
+from repro.topology.network import EdgeCacheNetwork, build_network
+from repro.utils.rng import RngFactory
+from repro.workload.ibm_synthetic import Workload, generate_workload
+
+#: Landmark count used throughout the paper's evaluation (Section 5).
+PAPER_LANDMARKS = 25
+#: Potential-landmark multiplier M used in the worked example.
+PAPER_MULTIPLIER = 2
+
+
+@dataclass(frozen=True)
+class Testbed:
+    """A network plus a workload over its caches — one experiment point."""
+
+    network: EdgeCacheNetwork
+    workload: Workload
+    seed: int
+
+    @property
+    def num_caches(self) -> int:
+        return self.network.num_caches
+
+
+def default_workload_config(
+    requests_per_cache: int = 150,
+    num_documents: int = 400,
+) -> WorkloadConfig:
+    """The evaluation's workload parameters (see DESIGN.md substitutions)."""
+    return WorkloadConfig(
+        documents=DocumentConfig(num_documents=num_documents),
+        requests_per_cache=requests_per_cache,
+        zipf_alpha=0.9,
+        shared_interest=0.8,
+    )
+
+
+def landmark_config(
+    num_landmarks: int = PAPER_LANDMARKS,
+    multiplier: int = PAPER_MULTIPLIER,
+    num_caches: Optional[int] = None,
+) -> LandmarkConfig:
+    """Landmark config, clamped so L-1 never exceeds the cache count."""
+    if num_caches is not None:
+        num_landmarks = min(num_landmarks, num_caches + 1)
+    return LandmarkConfig(num_landmarks=num_landmarks, multiplier=multiplier)
+
+
+def build_testbed(
+    num_caches: int,
+    seed: int,
+    requests_per_cache: int = 150,
+    num_documents: int = 400,
+) -> Testbed:
+    """Build a network and matching workload from one experiment seed."""
+    factory = RngFactory(seed)
+    network = build_network(
+        num_caches=num_caches, seed=factory.stream("topology")
+    )
+    workload = generate_workload(
+        network.cache_nodes,
+        default_workload_config(requests_per_cache, num_documents),
+        seed=factory.stream("workload"),
+    )
+    return Testbed(network=network, workload=workload, seed=seed)
+
+
+def run_simulation(
+    testbed: Testbed,
+    grouping: GroupingResult,
+    config: Optional[SimulationConfig] = None,
+) -> SimulationResult:
+    """Simulate one grouping over the testbed's workload."""
+    return simulate(
+        testbed.network, grouping, testbed.workload, config=config
+    )

@@ -1,0 +1,87 @@
+"""Figure 3: average latency vs. average cache group size (SL scheme).
+
+The paper's motivating experiment: a 500-cache network partitioned by
+the SL scheme into groups of average size swept from 2 to 500.  Three
+latency curves — all caches, the 50 nearest the origin, the 50 farthest
+— all follow a U-shape, with minima at *different* group sizes: far
+caches prefer larger groups (hit rate dominates), near caches prefer
+smaller ones (interaction cost dominates).  That non-uniformity is the
+motivation for SDSL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.core.groups import single_group
+from repro.core.schemes import SLScheme
+from repro.experiments.base import (
+    Testbed,
+    build_testbed,
+    landmark_config,
+    run_simulation,
+)
+
+#: Group sizes swept at laptop scale (paper sweeps 2..500 on 500 caches).
+DEFAULT_GROUP_SIZES = (2, 5, 10, 25, 50, 100, 150)
+PAPER_GROUP_SIZES = (2, 5, 10, 25, 50, 100, 250, 500)
+
+
+def run_fig3(
+    num_caches: int = 150,
+    group_sizes: Optional[Sequence[int]] = None,
+    subset_count: Optional[int] = None,
+    seed: int = 11,
+    paper_scale: bool = False,
+    testbed: Optional[Testbed] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 3's three latency-vs-group-size curves.
+
+    ``subset_count`` defaults to 10% of the caches (the paper's 50 of
+    500).  Pass an existing ``testbed`` to reuse its network/workload.
+    """
+    if paper_scale:
+        num_caches = 500
+        group_sizes = group_sizes or PAPER_GROUP_SIZES
+    group_sizes = tuple(group_sizes or DEFAULT_GROUP_SIZES)
+    if any(size < 1 for size in group_sizes):
+        raise ValueError(f"group sizes must be >= 1: {group_sizes}")
+
+    if testbed is None:
+        testbed = build_testbed(num_caches, seed)
+    n = testbed.num_caches
+    subset = subset_count or max(5, n // 10)
+
+    all_latency = []
+    near_latency = []
+    far_latency = []
+    swept = []
+    for size in group_sizes:
+        if size > n:
+            continue
+        swept.append(size)
+        k = max(1, round(n / size))
+        if k == 1:
+            grouping = single_group(testbed.network.cache_nodes)
+        else:
+            scheme = SLScheme(
+                landmark_config=landmark_config(num_caches=n)
+            )
+            grouping = scheme.form_groups(testbed.network, k, seed=seed)
+        result = run_simulation(testbed, grouping)
+        all_latency.append(result.average_latency_ms())
+        near_latency.append(result.latency_nearest_origin(subset))
+        far_latency.append(result.latency_farthest_origin(subset))
+
+    return ExperimentResult(
+        experiment_id="fig3",
+        x_label="avg_group_size",
+        x_values=tuple(swept),
+        series=(
+            SeriesResult("all_caches_ms", tuple(all_latency)),
+            SeriesResult(f"nearest_{subset}_ms", tuple(near_latency)),
+            SeriesResult(f"farthest_{subset}_ms", tuple(far_latency)),
+        ),
+        notes={"num_caches": float(n), "subset_count": float(subset)},
+    )

@@ -1,0 +1,82 @@
+"""Figure 5: landmark-selection accuracy vs. number of groups.
+
+Same three landmark selectors as Figure 4, on one fixed-size network,
+sweeping the number of cache groups K.  The paper reports SL's greedy
+selection giving the best clustering accuracy at every K, with GICost
+falling as K grows (smaller groups are tighter).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.gicost import average_group_interaction_cost
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.core.schemes import (
+    MinDistLandmarksScheme,
+    RandomLandmarksScheme,
+    SLScheme,
+)
+from repro.experiments.base import landmark_config
+from repro.topology.network import build_network
+from repro.utils.rng import RngFactory
+
+DEFAULT_K_VALUES = (5, 10, 15, 25, 40)
+PAPER_K_VALUES = (10, 25, 50, 75, 100)
+
+
+def run_fig5(
+    num_caches: int = 150,
+    k_values: Optional[Sequence[int]] = None,
+    num_landmarks: int = 25,
+    seed: int = 17,
+    repetitions: int = 3,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """Reproduce Figure 5's GICost-vs-K series for the three selectors."""
+    if paper_scale:
+        num_caches = 500
+        k_values = k_values or PAPER_K_VALUES
+    k_values = tuple(k_values or DEFAULT_K_VALUES)
+    if any(k < 1 or k > num_caches for k in k_values):
+        raise ValueError(
+            f"k values must lie in [1, {num_caches}]: {k_values}"
+        )
+
+    schemes = {
+        "sl_ms": SLScheme,
+        "random_ms": RandomLandmarksScheme,
+        "mindist_ms": MinDistLandmarksScheme,
+    }
+    series = {name: [] for name in schemes}
+    factory = RngFactory(seed)
+    lm_config = landmark_config(num_landmarks, num_caches=num_caches)
+
+    for k in k_values:
+        totals = {name: 0.0 for name in schemes}
+        for rep in range(repetitions):
+            rep_factory = factory.fork(f"k{k}-rep{rep}")
+            network = build_network(
+                num_caches=num_caches, seed=rep_factory.stream("topology")
+            )
+            for name, scheme_cls in schemes.items():
+                scheme = scheme_cls(landmark_config=lm_config)
+                grouping = scheme.form_groups(
+                    network, k, seed=rep_factory.stream(name)
+                )
+                totals[name] += average_group_interaction_cost(
+                    network, grouping
+                )
+        for name in schemes:
+            series[name].append(totals[name] / repetitions)
+
+    return ExperimentResult(
+        experiment_id="fig5",
+        x_label="num_groups",
+        x_values=k_values,
+        series=tuple(
+            SeriesResult(name, tuple(values))
+            for name, values in series.items()
+        ),
+        notes={"num_caches": float(num_caches)},
+    )

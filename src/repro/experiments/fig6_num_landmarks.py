@@ -1,0 +1,81 @@
+"""Figure 6: clustering accuracy vs. number of landmarks.
+
+The bar graph: GICost for the three landmark selectors at L = 10, 20,
+25 landmarks (fixed network, K = 10 groups).  The paper reports all
+three improving with more landmarks, diminishing returns beyond 25, and
+SL best at every L.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.gicost import average_group_interaction_cost
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.core.schemes import (
+    MinDistLandmarksScheme,
+    RandomLandmarksScheme,
+    SLScheme,
+)
+from repro.experiments.base import landmark_config
+from repro.topology.network import build_network
+from repro.utils.rng import RngFactory
+
+PAPER_LANDMARK_COUNTS = (10, 20, 25)
+
+
+def run_fig6(
+    num_caches: int = 150,
+    landmark_counts: Optional[Sequence[int]] = None,
+    num_groups: int = 10,
+    seed: int = 19,
+    repetitions: int = 3,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """Reproduce Figure 6's GICost bars per (selector, L) combination."""
+    if paper_scale:
+        num_caches = 500
+    landmark_counts = tuple(landmark_counts or PAPER_LANDMARK_COUNTS)
+    if any(l < 2 for l in landmark_counts):
+        raise ValueError(f"landmark counts must be >= 2: {landmark_counts}")
+
+    schemes = {
+        "sl_ms": SLScheme,
+        "random_ms": RandomLandmarksScheme,
+        "mindist_ms": MinDistLandmarksScheme,
+    }
+    series = {name: [] for name in schemes}
+    factory = RngFactory(seed)
+
+    for l in landmark_counts:
+        lm_config = landmark_config(l, num_caches=num_caches)
+        totals = {name: 0.0 for name in schemes}
+        for rep in range(repetitions):
+            rep_factory = factory.fork(f"l{l}-rep{rep}")
+            network = build_network(
+                num_caches=num_caches, seed=rep_factory.stream("topology")
+            )
+            for name, scheme_cls in schemes.items():
+                scheme = scheme_cls(landmark_config=lm_config)
+                grouping = scheme.form_groups(
+                    network, num_groups, seed=rep_factory.stream(name)
+                )
+                totals[name] += average_group_interaction_cost(
+                    network, grouping
+                )
+        for name in schemes:
+            series[name].append(totals[name] / repetitions)
+
+    return ExperimentResult(
+        experiment_id="fig6",
+        x_label="num_landmarks",
+        x_values=landmark_counts,
+        series=tuple(
+            SeriesResult(name, tuple(values))
+            for name, values in series.items()
+        ),
+        notes={
+            "num_caches": float(num_caches),
+            "num_groups": float(num_groups),
+        },
+    )

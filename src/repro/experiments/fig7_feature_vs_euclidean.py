@@ -1,0 +1,80 @@
+"""Figure 7: feature vectors vs. GNP Euclidean-space clustering.
+
+Both schemes share the same 25 greedily-chosen landmarks; SL clusters
+raw RTT feature vectors, the Euclidean scheme first runs a GNP
+least-squares embedding and clusters the coordinates.  The paper finds
+near-parity — each wins at some K — concluding "the simple feature
+vector representation scheme is sufficient".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.gicost import average_group_interaction_cost
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.core.schemes import EuclideanGNPScheme, SLScheme
+from repro.config import GNPConfig
+from repro.experiments.base import landmark_config
+from repro.topology.network import build_network
+from repro.utils.rng import RngFactory
+
+DEFAULT_K_VALUES = (5, 10, 20, 40)
+PAPER_K_VALUES = (10, 25, 50, 75, 100)
+
+
+def run_fig7(
+    num_caches: int = 120,
+    k_values: Optional[Sequence[int]] = None,
+    num_landmarks: int = 25,
+    gnp_dimensions: int = 7,
+    seed: int = 23,
+    repetitions: int = 2,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """Reproduce Figure 7's GICost-vs-K comparison."""
+    if paper_scale:
+        num_caches = 500
+        k_values = k_values or PAPER_K_VALUES
+    k_values = tuple(k_values or DEFAULT_K_VALUES)
+    lm_config = landmark_config(num_landmarks, num_caches=num_caches)
+    gnp_config = GNPConfig(dimensions=gnp_dimensions)
+
+    sl_series = []
+    gnp_series = []
+    factory = RngFactory(seed)
+
+    for k in k_values:
+        sl_total = 0.0
+        gnp_total = 0.0
+        for rep in range(repetitions):
+            rep_factory = factory.fork(f"k{k}-rep{rep}")
+            network = build_network(
+                num_caches=num_caches, seed=rep_factory.stream("topology")
+            )
+            sl = SLScheme(landmark_config=lm_config)
+            sl_grouping = sl.form_groups(
+                network, k, seed=rep_factory.stream("sl")
+            )
+            sl_total += average_group_interaction_cost(network, sl_grouping)
+
+            gnp = EuclideanGNPScheme(
+                gnp_config=gnp_config, landmark_config=lm_config
+            )
+            gnp_grouping = gnp.form_groups(
+                network, k, seed=rep_factory.stream("gnp")
+            )
+            gnp_total += average_group_interaction_cost(network, gnp_grouping)
+        sl_series.append(sl_total / repetitions)
+        gnp_series.append(gnp_total / repetitions)
+
+    return ExperimentResult(
+        experiment_id="fig7",
+        x_label="num_groups",
+        x_values=k_values,
+        series=(
+            SeriesResult("sl_feature_vectors_ms", tuple(sl_series)),
+            SeriesResult("euclidean_gnp_ms", tuple(gnp_series)),
+        ),
+        notes={"num_caches": float(num_caches)},
+    )

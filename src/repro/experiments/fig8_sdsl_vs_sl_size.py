@@ -1,0 +1,97 @@
+"""Figure 8: SDSL vs. SL average latency, varying network size.
+
+Networks of growing size, groups formed by SL and SDSL (same 25 greedy
+landmarks) at K = 10% and K = 20% of N, compared by simulated average
+cache latency.  The paper reports SDSL winning at every size and both K
+settings — over 27% better at N=500, K=20%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.latency import improvement_percent
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.config import SDSLConfig
+from repro.core.schemes import SDSLScheme, SLScheme
+from repro.experiments.base import (
+    build_testbed,
+    landmark_config,
+    run_simulation,
+)
+
+DEFAULT_SIZES = (60, 100, 140)
+PAPER_SIZES = (100, 200, 300, 400, 500)
+GROUP_FRACTIONS = (0.10, 0.20)
+
+
+def run_fig8(
+    network_sizes: Optional[Sequence[int]] = None,
+    num_landmarks: int = 25,
+    theta: float = 2.0,
+    seed: int = 29,
+    repetitions: int = 2,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """Reproduce Figure 8's four latency series (2 schemes x 2 K settings).
+
+    Each point averages ``repetitions`` independent (testbed, scheme)
+    runs: single K-means runs are noisy enough to occasionally invert
+    the SL/SDSL ordering on one draw.
+    """
+    if paper_scale:
+        network_sizes = network_sizes or PAPER_SIZES
+    sizes = tuple(network_sizes or DEFAULT_SIZES)
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+
+    series = {
+        "sl_k10_ms": [],
+        "sdsl_k10_ms": [],
+        "sl_k20_ms": [],
+        "sdsl_k20_ms": [],
+    }
+    for n in sizes:
+        lm_config = landmark_config(num_landmarks, num_caches=n)
+        totals = {name: 0.0 for name in series}
+        for rep in range(repetitions):
+            testbed = build_testbed(n, seed + 1000 * rep + n)
+            for fraction, suffix in zip(GROUP_FRACTIONS, ("k10", "k20")):
+                k = max(2, round(fraction * n))
+                sl = SLScheme(landmark_config=lm_config)
+                sl_grouping = sl.form_groups(
+                    testbed.network, k, seed=seed + rep
+                )
+                totals[f"sl_{suffix}_ms"] += run_simulation(
+                    testbed, sl_grouping
+                ).average_latency_ms()
+                sdsl = SDSLScheme(
+                    sdsl_config=SDSLConfig(theta=theta),
+                    landmark_config=lm_config,
+                )
+                sdsl_grouping = sdsl.form_groups(
+                    testbed.network, k, seed=seed + rep
+                )
+                totals[f"sdsl_{suffix}_ms"] += run_simulation(
+                    testbed, sdsl_grouping
+                ).average_latency_ms()
+        for name in series:
+            series[name].append(totals[name] / repetitions)
+
+    notes = {
+        "max_improvement_k20_pct": max(
+            improvement_percent(sl, sdsl)
+            for sl, sdsl in zip(series["sl_k20_ms"], series["sdsl_k20_ms"])
+        ),
+        "theta": theta,
+    }
+    return ExperimentResult(
+        experiment_id="fig8",
+        x_label="num_caches",
+        x_values=sizes,
+        series=tuple(
+            SeriesResult(name, tuple(values))
+            for name, values in series.items()
+        ),
+        notes=notes,
+    )

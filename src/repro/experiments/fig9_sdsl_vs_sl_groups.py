@@ -1,0 +1,91 @@
+"""Figure 9: SDSL vs. SL average latency, varying the number of groups.
+
+One fixed network, K swept; the paper reports SDSL below SL at every K
+on the 500-cache network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.latency import improvement_percent
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.config import SDSLConfig
+from repro.core.schemes import SDSLScheme, SLScheme
+from repro.experiments.base import (
+    build_testbed,
+    landmark_config,
+    run_simulation,
+)
+
+DEFAULT_K_VALUES = (5, 10, 15, 25, 40)
+PAPER_K_VALUES = (10, 25, 50, 75, 100)
+
+
+def run_fig9(
+    num_caches: int = 150,
+    k_values: Optional[Sequence[int]] = None,
+    num_landmarks: int = 25,
+    theta: float = 2.0,
+    seed: int = 31,
+    repetitions: int = 2,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """Reproduce Figure 9's latency-vs-K comparison.
+
+    Each point averages ``repetitions`` scheme runs over the same
+    testbed (K-means initialization noise is the dominant variance).
+    """
+    if paper_scale:
+        num_caches = 500
+        k_values = k_values or PAPER_K_VALUES
+    k_values = tuple(k_values or DEFAULT_K_VALUES)
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+
+    testbed = build_testbed(num_caches, seed)
+    lm_config = landmark_config(num_landmarks, num_caches=num_caches)
+
+    sl_series = []
+    sdsl_series = []
+    for k in k_values:
+        sl_total = 0.0
+        sdsl_total = 0.0
+        for rep in range(repetitions):
+            run_seed = seed + 1000 * rep + k
+            sl = SLScheme(landmark_config=lm_config)
+            sl_grouping = sl.form_groups(testbed.network, k, seed=run_seed)
+            sl_total += run_simulation(
+                testbed, sl_grouping
+            ).average_latency_ms()
+            sdsl = SDSLScheme(
+                sdsl_config=SDSLConfig(theta=theta),
+                landmark_config=lm_config,
+            )
+            sdsl_grouping = sdsl.form_groups(
+                testbed.network, k, seed=run_seed
+            )
+            sdsl_total += run_simulation(
+                testbed, sdsl_grouping
+            ).average_latency_ms()
+        sl_series.append(sl_total / repetitions)
+        sdsl_series.append(sdsl_total / repetitions)
+
+    notes = {
+        "mean_improvement_pct": sum(
+            improvement_percent(sl, sdsl)
+            for sl, sdsl in zip(sl_series, sdsl_series)
+        ) / len(sl_series),
+        "theta": theta,
+        "num_caches": float(num_caches),
+    }
+    return ExperimentResult(
+        experiment_id="fig9",
+        x_label="num_groups",
+        x_values=k_values,
+        series=(
+            SeriesResult("sl_ms", tuple(sl_series)),
+            SeriesResult("sdsl_ms", tuple(sdsl_series)),
+        ),
+        notes=notes,
+    )

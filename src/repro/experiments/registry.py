@@ -1,0 +1,44 @@
+"""Experiment registry: id -> runner, shared by benches and docs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.analysis.report import ExperimentResult
+from repro.errors import ReproError
+
+
+def _load() -> Dict[str, Callable[..., ExperimentResult]]:
+    # Imported lazily to avoid circular imports with repro.experiments.
+    from repro.experiments.fig3_groupsize import run_fig3
+    from repro.experiments.fig4_landmark_accuracy_size import run_fig4
+    from repro.experiments.fig5_landmark_accuracy_groups import run_fig5
+    from repro.experiments.fig6_num_landmarks import run_fig6
+    from repro.experiments.fig7_feature_vs_euclidean import run_fig7
+    from repro.experiments.fig8_sdsl_vs_sl_size import run_fig8
+    from repro.experiments.fig9_sdsl_vs_sl_groups import run_fig9
+
+    return {
+        "fig3": run_fig3,
+        "fig4": run_fig4,
+        "fig5": run_fig5,
+        "fig6": run_fig6,
+        "fig7": run_fig7,
+        "fig8": run_fig8,
+        "fig9": run_fig9,
+    }
+
+
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = _load()
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"fig4"``)."""
+    try:
+        runner = REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner(**kwargs)

@@ -1,0 +1,97 @@
+"""Run the full figure suite and archive the results.
+
+``run_suite`` executes every registered experiment, writes each result
+as JSON and CSV into an output directory, and produces a markdown
+summary (one table per figure) — the artifact a reproduction run leaves
+behind.  The CLI exposes it as ``repro experiment all``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from repro.analysis.export import export_experiment_result
+from repro.analysis.report import ExperimentResult
+from repro.errors import ReproError
+from repro.experiments.registry import REGISTRY
+from repro.persist import save_result
+
+PathLike = Union[str, Path]
+
+#: Figures whose runners accept a ``repetitions`` argument.
+_SUPPORTS_REPETITIONS = frozenset(
+    {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+)
+
+
+@dataclass(frozen=True)
+class SuiteRun:
+    """Outcome of one full-suite run."""
+
+    results: Dict[str, ExperimentResult]
+    output_dir: Optional[Path]
+
+    def summary_markdown(self) -> str:
+        """A markdown report with one section per figure."""
+        lines = ["# Reproduction suite results", ""]
+        for experiment_id in sorted(self.results):
+            result = self.results[experiment_id]
+            lines.append(f"## {experiment_id}")
+            lines.append("")
+            lines.append("```")
+            lines.append(result.render())
+            lines.append("```")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run_suite(
+    figures: Optional[Sequence[str]] = None,
+    output_dir: Optional[PathLike] = None,
+    paper_scale: bool = False,
+    repetitions: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> SuiteRun:
+    """Run the selected figures (default: all) and archive results.
+
+    ``output_dir`` (when given) receives ``<fig>.json``, ``<fig>.csv``
+    and a combined ``summary.md``; it is created if missing.
+    """
+    selected = list(figures) if figures is not None else sorted(REGISTRY)
+    unknown = [f for f in selected if f not in REGISTRY]
+    if unknown:
+        raise ReproError(
+            f"unknown figures: {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(REGISTRY))}"
+        )
+
+    out_path: Optional[Path] = None
+    if output_dir is not None:
+        out_path = Path(output_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+
+    results: Dict[str, ExperimentResult] = {}
+    for experiment_id in selected:
+        kwargs = {}
+        if paper_scale:
+            kwargs["paper_scale"] = True
+        if seed is not None:
+            kwargs["seed"] = seed
+        if repetitions is not None and experiment_id in _SUPPORTS_REPETITIONS:
+            kwargs["repetitions"] = repetitions
+        result = REGISTRY[experiment_id](**kwargs)
+        results[experiment_id] = result
+        if out_path is not None:
+            save_result(result, out_path / f"{experiment_id}.json")
+            export_experiment_result(
+                result, out_path / f"{experiment_id}.csv"
+            )
+
+    run = SuiteRun(results=results, output_dir=out_path)
+    if out_path is not None:
+        (out_path / "summary.md").write_text(
+            run.summary_markdown(), encoding="utf-8"
+        )
+    return run

@@ -1,0 +1,31 @@
+"""Landmark selection and feature-vector construction (paper Section 3).
+
+Three selectors are provided, matching the paper's Figure 4–6
+comparison:
+
+* :class:`GreedyMaxMinSelector` — the SL scheme's approximation-based
+  greedy strategy (maximise the minimum pairwise landmark distance over
+  a random potential-landmark set);
+* :class:`RandomSelector` — landmarks drawn uniformly at random;
+* :class:`MinDistSelector` — the adversarial baseline that *minimises*
+  the pairwise landmark distance.
+
+:func:`build_feature_vectors` then realises SL step 2: every node probes
+every landmark and records the averaged RTTs as its feature vector.
+"""
+
+from repro.landmarks.base import LandmarkSelector, LandmarkSet
+from repro.landmarks.greedy import GreedyMaxMinSelector
+from repro.landmarks.random_sel import RandomSelector
+from repro.landmarks.mindist import MinDistSelector
+from repro.landmarks.feature_vectors import FeatureVectors, build_feature_vectors
+
+__all__ = [
+    "LandmarkSelector",
+    "LandmarkSet",
+    "GreedyMaxMinSelector",
+    "RandomSelector",
+    "MinDistSelector",
+    "FeatureVectors",
+    "build_feature_vectors",
+]

@@ -1,0 +1,100 @@
+"""Landmark selector interface and the :class:`LandmarkSet` result type."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import LandmarkConfig
+from repro.errors import LandmarkSelectionError
+from repro.probing.prober import Prober
+from repro.types import ORIGIN_NODE_ID, NodeId
+
+
+@dataclass(frozen=True)
+class LandmarkSet:
+    """An ordered set of landmark nodes.
+
+    The origin server is always a landmark per the paper ("the origin
+    server is always chosen as a landmark, since it is an important node
+    in the edge cache network"); by convention it appears first.
+    ``min_pairwise_rtt`` is the ``MinDist(LmSet)`` objective value as
+    *measured* during selection (NaN when the selector never measured
+    pairwise distances, e.g. the random selector).
+    """
+
+    nodes: Tuple[NodeId, ...]
+    min_pairwise_rtt: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise LandmarkSelectionError(
+                f"a landmark set needs >= 2 nodes, got {len(self.nodes)}"
+            )
+        if self.nodes[0] != ORIGIN_NODE_ID:
+            raise LandmarkSelectionError(
+                "the origin server must be the first landmark"
+            )
+        if len(set(self.nodes)) != len(self.nodes):
+            raise LandmarkSelectionError(
+                f"landmark set contains duplicates: {self.nodes}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.nodes
+
+    @property
+    def cache_landmarks(self) -> Tuple[NodeId, ...]:
+        """The landmarks that are edge caches (origin excluded)."""
+        return self.nodes[1:]
+
+
+class LandmarkSelector(abc.ABC):
+    """Strategy interface for SL step 1 (choosing the landmark set).
+
+    Selectors receive a :class:`repro.probing.Prober` rather than the
+    ground-truth matrix: any distance they use must be *measured*, which
+    keeps their probe budgets honest and comparable.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        prober: Prober,
+        config: LandmarkConfig,
+        rng: np.random.Generator,
+    ) -> LandmarkSet:
+        """Choose ``config.num_landmarks`` landmarks (origin included)."""
+
+    @staticmethod
+    def _candidate_caches(prober: Prober) -> List[NodeId]:
+        return prober.network.cache_nodes
+
+    @staticmethod
+    def _check_feasible(prober: Prober, config: LandmarkConfig) -> None:
+        config.validate()
+        num_caches = prober.network.num_caches
+        if config.num_landmarks - 1 > num_caches:
+            raise LandmarkSelectionError(
+                f"cannot choose {config.num_landmarks - 1} cache landmarks "
+                f"from {num_caches} caches"
+            )
+
+
+def min_pairwise(measured: np.ndarray) -> float:
+    """Smallest off-diagonal entry of a measured distance matrix."""
+    if measured.shape[0] < 2:
+        raise LandmarkSelectionError("need >= 2 nodes for a pairwise minimum")
+    masked = measured + np.diag(np.full(measured.shape[0], np.inf))
+    return float(masked.min())

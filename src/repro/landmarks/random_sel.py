@@ -1,0 +1,36 @@
+"""Random landmark selection — the paper's first baseline (Section 5.1).
+
+"The landmarks are chosen randomly from the set of edge caches and the
+server."  No pairwise probing happens, so ``min_pairwise_rtt`` of the
+result is NaN; the origin is still always included to keep the schemes
+comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import LandmarkConfig
+from repro.landmarks.base import LandmarkSelector, LandmarkSet
+from repro.probing.prober import Prober
+from repro.types import ORIGIN_NODE_ID
+
+
+class RandomSelector(LandmarkSelector):
+    """Uniform random landmark choice (probe-free)."""
+
+    name = "random"
+
+    def select(
+        self,
+        prober: Prober,
+        config: LandmarkConfig,
+        rng: np.random.Generator,
+    ) -> LandmarkSet:
+        self._check_feasible(prober, config)
+        caches = self._candidate_caches(prober)
+        picked = rng.choice(
+            len(caches), size=config.num_landmarks - 1, replace=False
+        )
+        nodes = (ORIGIN_NODE_ID, *(caches[int(i)] for i in picked))
+        return LandmarkSet(nodes=nodes)

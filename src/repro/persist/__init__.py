@@ -1,0 +1,24 @@
+"""Persistence: save/load networks, groupings, and experiment results.
+
+A GF-Coordinator in production recomputes groups rarely (probing is
+expensive) and ships the resulting group tables to the caches; this
+package provides the stable on-disk formats for that workflow:
+
+* networks — ``.npz`` (distance matrix + placement metadata);
+* groupings — JSON (scheme, groups, landmark provenance);
+* experiment results — JSON (x-axis, series, notes), so benchmark runs
+  can be archived and diffed.
+"""
+
+from repro.persist.networks import load_network, save_network
+from repro.persist.groupings import load_grouping, save_grouping
+from repro.persist.results import load_result, save_result
+
+__all__ = [
+    "save_network",
+    "load_network",
+    "save_grouping",
+    "load_grouping",
+    "save_result",
+    "load_result",
+]

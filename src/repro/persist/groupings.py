@@ -1,0 +1,89 @@
+"""Save/load grouping results as JSON.
+
+The JSON form is the "group table" a GF-Coordinator would distribute to
+the caches: scheme name, groups with their members, and — when the
+grouping came from a landmark pipeline — the landmark set, so a cache
+can later re-probe the same landmarks to find its group (see
+:mod:`repro.core.membership`).
+
+Feature vectors and the clustering object are deliberately *not*
+persisted: they are run-scoped provenance, not part of the group table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.groups import CacheGroup, GroupingResult
+from repro.errors import ReproError
+from repro.landmarks.base import LandmarkSet
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_grouping(grouping: GroupingResult, path: PathLike) -> None:
+    """Write a grouping's group table to ``path`` as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "scheme": grouping.scheme,
+        "groups": [
+            {"group_id": g.group_id, "members": list(g.members)}
+            for g in grouping.groups
+        ],
+    }
+    if grouping.landmarks is not None:
+        payload["landmarks"] = {
+            "nodes": list(grouping.landmarks.nodes),
+            "min_pairwise_rtt": _nan_to_none(
+                grouping.landmarks.min_pairwise_rtt
+            ),
+        }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_grouping(path: PathLike) -> GroupingResult:
+    """Read a grouping written by :func:`save_grouping`."""
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            payload = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path} is not valid JSON: {exc}") from exc
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"{path} has format version {version}, expected {_FORMAT_VERSION}"
+        )
+    try:
+        groups = tuple(
+            CacheGroup(
+                group_id=int(entry["group_id"]),
+                members=tuple(int(m) for m in entry["members"]),
+            )
+            for entry in payload["groups"]
+        )
+        scheme = payload["scheme"]
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"{path}: malformed grouping payload") from exc
+
+    landmarks = None
+    if "landmarks" in payload:
+        entry = payload["landmarks"]
+        landmarks = LandmarkSet(
+            nodes=tuple(int(n) for n in entry["nodes"]),
+            min_pairwise_rtt=_none_to_nan(entry.get("min_pairwise_rtt")),
+        )
+    return GroupingResult(scheme=scheme, groups=groups, landmarks=landmarks)
+
+
+def _nan_to_none(value: float):
+    return None if value != value else value  # NaN check
+
+
+def _none_to_nan(value) -> float:
+    return float("nan") if value is None else float(value)

@@ -1,0 +1,72 @@
+"""Save/load edge cache networks as ``.npz`` archives.
+
+The archive stores the ground-truth RTT matrix plus (when present) the
+router placement.  The topology graph itself is *not* stored — every
+consumer of a loaded network (schemes, simulator, metrics) needs only
+the distance matrix; regenerating the graph is a topology-config
+concern, not a persistence one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.topology.distance import DistanceMatrix
+from repro.topology.network import EdgeCacheNetwork
+from repro.topology.placement import Placement
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_network(network: EdgeCacheNetwork, path: PathLike) -> None:
+    """Write a network to ``path`` (conventionally ``*.npz``)."""
+    arrays = {
+        "format_version": np.asarray([_FORMAT_VERSION]),
+        "rtt_ms": network.distances.as_array(),
+    }
+    if network.placement is not None:
+        arrays["origin_router"] = np.asarray(
+            [network.placement.origin_router]
+        )
+        arrays["cache_routers"] = np.asarray(
+            network.placement.cache_routers, dtype=np.int64
+        )
+    np.savez_compressed(path, **arrays)
+
+
+def load_network(path: PathLike) -> EdgeCacheNetwork:
+    """Read a network written by :func:`save_network`.
+
+    The loaded network carries no topology graph (``network.graph`` is
+    None); all distance-based functionality works unchanged.
+    """
+    with np.load(path) as archive:
+        try:
+            version = int(archive["format_version"][0])
+            rtt = archive["rtt_ms"]
+        except KeyError as exc:
+            raise ReproError(
+                f"{path} is not a repro network archive (missing {exc})"
+            ) from exc
+        if version != _FORMAT_VERSION:
+            raise ReproError(
+                f"{path} has format version {version}, expected "
+                f"{_FORMAT_VERSION}"
+            )
+        placement = None
+        if "origin_router" in archive:
+            placement = Placement(
+                origin_router=int(archive["origin_router"][0]),
+                cache_routers=tuple(
+                    int(r) for r in archive["cache_routers"]
+                ),
+            )
+    return EdgeCacheNetwork(
+        distances=DistanceMatrix(rtt), placement=placement
+    )

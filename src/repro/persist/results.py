@@ -1,0 +1,63 @@
+"""Save/load experiment results as JSON.
+
+Lets benchmark runs be archived and compared across machines/commits —
+the ``repro experiment`` CLI writes these next to its printed tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.errors import ReproError
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: ExperimentResult, path: PathLike) -> None:
+    """Write an experiment result to ``path`` as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "experiment_id": result.experiment_id,
+        "x_label": result.x_label,
+        "x_values": list(result.x_values),
+        "series": [
+            {"name": s.name, "values": list(s.values)}
+            for s in result.series
+        ],
+        "notes": dict(result.notes),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_result(path: PathLike) -> ExperimentResult:
+    """Read an experiment result written by :func:`save_result`."""
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            payload = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path} is not valid JSON: {exc}") from exc
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"{path} has format version {payload.get('format_version')}, "
+            f"expected {_FORMAT_VERSION}"
+        )
+    try:
+        return ExperimentResult(
+            experiment_id=payload["experiment_id"],
+            x_label=payload["x_label"],
+            x_values=tuple(payload["x_values"]),
+            series=tuple(
+                SeriesResult(name=s["name"], values=tuple(s["values"]))
+                for s in payload["series"]
+            ),
+            notes={k: float(v) for k, v in payload["notes"].items()},
+        )
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"{path}: malformed result payload") from exc

@@ -1,0 +1,18 @@
+"""Simulated RTT probing.
+
+Group-formation schemes never read the ground-truth distance matrix;
+they issue *probes* through a :class:`Prober`, which adds measurement
+noise and charges a probe budget — exactly the information a real
+GF-Coordinator could obtain by having caches ping each other.
+"""
+
+from repro.probing.noise import GaussianRelativeNoise, NoNoise, NoiseModel
+from repro.probing.prober import Prober, ProbeStats
+
+__all__ = [
+    "NoiseModel",
+    "GaussianRelativeNoise",
+    "NoNoise",
+    "Prober",
+    "ProbeStats",
+]

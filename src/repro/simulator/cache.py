@@ -1,0 +1,165 @@
+"""The :class:`EdgeCache`: bounded storage with pluggable replacement.
+
+An edge cache stores document copies up to a byte capacity.  Insertion
+evicts victims (chosen by the replacement policy) until the new
+document fits; documents larger than the whole cache are simply not
+admitted (served pass-through), which matches standard proxy behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.simulator.replacement import ReplacementPolicy
+from repro.types import DocumentId, NodeId
+
+
+@dataclass
+class CachedDocument:
+    """One stored copy: size plus bookkeeping for metrics/consistency."""
+
+    doc_id: DocumentId
+    size_bytes: int
+    stored_at_ms: float
+    version: int
+
+
+class EdgeCache:
+    """Bounded document store owned by one edge cache node."""
+
+    def __init__(
+        self,
+        node: NodeId,
+        capacity_bytes: int,
+        policy: ReplacementPolicy,
+        on_evict: Optional[Callable[[NodeId, DocumentId], None]] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise SimulationError(
+                f"cache {node} capacity must be > 0, got {capacity_bytes}"
+            )
+        self._node = node
+        self._capacity = capacity_bytes
+        self._policy = policy
+        self._store: Dict[DocumentId, CachedDocument] = {}
+        self._used = 0
+        # Callback lets the group directory track copies without the
+        # cache knowing about groups.
+        self._on_evict = on_evict
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def node(self) -> NodeId:
+        return self._node
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def document_count(self) -> int:
+        return len(self._store)
+
+    def holds(self, doc_id: DocumentId) -> bool:
+        return doc_id in self._store
+
+    def entry(self, doc_id: DocumentId) -> CachedDocument:
+        try:
+            return self._store[doc_id]
+        except KeyError:
+            raise SimulationError(
+                f"cache {self._node} does not hold doc {doc_id}"
+            ) from None
+
+    def stored_ids(self) -> List[DocumentId]:
+        return list(self._store)
+
+    # -- operations ----------------------------------------------------
+
+    def access(self, doc_id: DocumentId, now_ms: float) -> CachedDocument:
+        """Serve a local hit; updates replacement bookkeeping."""
+        entry = self.entry(doc_id)
+        self._policy.on_access(doc_id, now_ms)
+        return entry
+
+    def admit(
+        self,
+        doc_id: DocumentId,
+        size_bytes: int,
+        fetch_cost_ms: float,
+        now_ms: float,
+        version: int,
+    ) -> bool:
+        """Try to store a fetched document; returns False if inadmissible.
+
+        Evicts according to the policy until the document fits.  A
+        document already present is refreshed in place (version bump,
+        access credit) with no extra space accounting.
+        """
+        if size_bytes <= 0:
+            raise SimulationError(
+                f"cannot admit doc {doc_id} with size {size_bytes}"
+            )
+        if doc_id in self._store:
+            entry = self._store[doc_id]
+            entry.version = version
+            entry.stored_at_ms = now_ms
+            self._policy.on_access(doc_id, now_ms)
+            return True
+        if size_bytes > self._capacity:
+            return False
+        while self._used + size_bytes > self._capacity:
+            victim = self._policy.select_victim()
+            self._remove(victim, invalidated=False)
+        self._store[doc_id] = CachedDocument(
+            doc_id=doc_id,
+            size_bytes=size_bytes,
+            stored_at_ms=now_ms,
+            version=version,
+        )
+        self._used += size_bytes
+        self._policy.on_insert(doc_id, size_bytes, fetch_cost_ms, now_ms)
+        return True
+
+    def expire(self, doc_id: DocumentId) -> bool:
+        """Drop a copy whose TTL lapsed (no invalidation feedback).
+
+        Unlike :meth:`invalidate`, expiry is a local timer decision and
+        carries no signal about the document's update rate, so the
+        replacement policy is not notified of an invalidation.
+        """
+        if doc_id not in self._store:
+            return False
+        self._remove(doc_id, invalidated=False)
+        return True
+
+    def invalidate(self, doc_id: DocumentId) -> bool:
+        """Drop a document because the origin updated it.
+
+        Returns True if a copy was actually dropped.  The policy gets
+        invalidation feedback first so utility-based replacement learns
+        the document's update rate.
+        """
+        if doc_id not in self._store:
+            return False
+        self._policy.on_invalidation_feedback(doc_id)
+        self._remove(doc_id, invalidated=True)
+        return True
+
+    def _remove(self, doc_id: DocumentId, invalidated: bool) -> None:
+        entry = self._store.pop(doc_id)
+        self._used -= entry.size_bytes
+        if self._used < 0:
+            raise SimulationError(
+                f"cache {self._node} accounting went negative"
+            )
+        self._policy.on_remove(doc_id, invalidated=invalidated)
+        if self._on_evict is not None:
+            self._on_evict(self._node, doc_id)

@@ -1,0 +1,337 @@
+"""The discrete event simulation engine.
+
+Wires together the caches, origin server, group protocol, latency model
+and metrics, then processes the merged request/update event stream in
+timestamp order.  The engine itself is deliberately thin: each
+subsystem owns its state, the engine owns only the clock and the
+per-event control flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Union
+
+from repro.config import SimulationConfig
+from repro.core.groups import GroupingResult
+from repro.errors import SimulationError
+from repro.simulator.cache import EdgeCache
+from repro.simulator.events import (
+    CacheFailEvent,
+    CacheRecoverEvent,
+    EventQueue,
+    OriginUpdateEvent,
+    RequestEvent,
+)
+from repro.simulator.group_proto import GroupProtocol, LookupOutcome
+from repro.simulator.latency import LatencyModel
+from repro.simulator.metrics import SimulationMetrics
+from repro.simulator.origin import OriginServer
+from repro.simulator.origin_load import OriginLoadTracker
+from repro.simulator.replacement import make_policy
+from repro.topology.network import EdgeCacheNetwork
+from repro.types import NodeId
+from repro.workload.ibm_synthetic import Workload
+
+
+class SimulationEngine:
+    """One simulation run over a fixed network, grouping, and workload."""
+
+    def __init__(
+        self,
+        network: EdgeCacheNetwork,
+        grouping: GroupingResult,
+        workload: Workload,
+        config: Optional[SimulationConfig] = None,
+        group_protocol_mode: str = "beacon",
+        failures: Sequence[Union[CacheFailEvent, CacheRecoverEvent]] = (),
+    ) -> None:
+        self._config = config or SimulationConfig()
+        self._config.validate()
+        self._network = network
+        self._workload = workload
+
+        grouped = set(grouping.all_members)
+        expected = set(network.cache_nodes)
+        if grouped != expected:
+            raise SimulationError(
+                "grouping must cover exactly the network's caches: "
+                f"{len(grouped)} grouped vs {len(expected)} in network"
+            )
+
+        self._origin = OriginServer(workload.catalog)
+        # Failed caches, shared with the protocol so lookups never
+        # target them.
+        self._down: Set[NodeId] = set()
+        self._protocol = GroupProtocol(
+            network,
+            grouping,
+            group_lookup_ms=self._config.group_lookup_ms,
+            mode=group_protocol_mode,
+            unavailable=self._down,
+        )
+        self._latency = LatencyModel(network, self._config)
+        self._metrics = SimulationMetrics(network.cache_nodes)
+        self._origin_load: Optional[OriginLoadTracker] = None
+        if self._config.origin_queueing:
+            self._origin_load = OriginLoadTracker(
+                capacity_rps=self._config.origin_capacity_rps,
+                window_ms=self._config.origin_load_window_ms,
+            )
+
+        capacity = max(
+            1,
+            int(
+                self._config.cache.capacity_fraction
+                * workload.catalog.total_bytes
+            ),
+        )
+        self._caches: Dict[NodeId, EdgeCache] = {
+            node: EdgeCache(
+                node=node,
+                capacity_bytes=capacity,
+                policy=make_policy(self._config.cache.replacement_policy),
+                on_evict=self._protocol.drop_copy,
+            )
+            for node in network.cache_nodes
+        }
+
+        self._events = EventQueue()
+        for request in workload.requests:
+            if request.cache_node not in self._caches:
+                raise SimulationError(
+                    f"request targets cache {request.cache_node} which is "
+                    f"not in the network"
+                )
+            self._events.push(
+                RequestEvent(
+                    timestamp_ms=request.timestamp_ms,
+                    cache_node=request.cache_node,
+                    doc_id=request.doc_id,
+                )
+            )
+        for update in workload.updates:
+            self._events.push(
+                OriginUpdateEvent(
+                    timestamp_ms=update.timestamp_ms, doc_id=update.doc_id
+                )
+            )
+        for failure in failures:
+            if failure.cache_node not in self._caches:
+                raise SimulationError(
+                    f"failure event targets unknown cache "
+                    f"{failure.cache_node}"
+                )
+            self._events.push(failure)
+
+        total_requests = len(workload.requests)
+        self._warmup_remaining = int(
+            self._config.warmup_fraction * total_requests
+        )
+        self._processed_requests = 0
+
+    @property
+    def metrics(self) -> SimulationMetrics:
+        return self._metrics
+
+    @property
+    def protocol(self) -> GroupProtocol:
+        return self._protocol
+
+    @property
+    def origin(self) -> OriginServer:
+        return self._origin
+
+    def cache(self, node: NodeId) -> EdgeCache:
+        try:
+            return self._caches[node]
+        except KeyError:
+            raise SimulationError(f"unknown cache {node}") from None
+
+    def run(self) -> SimulationMetrics:
+        """Process every event; returns the collected metrics."""
+        while self._events:
+            event = self._events.pop()
+            if isinstance(event, RequestEvent):
+                self._handle_request(event)
+            elif isinstance(event, OriginUpdateEvent):
+                self._handle_update(event)
+            elif isinstance(event, CacheFailEvent):
+                self._handle_fail(event)
+            elif isinstance(event, CacheRecoverEvent):
+                self._handle_recover(event)
+            else:  # pragma: no cover - event union is closed
+                raise SimulationError(f"unknown event {event!r}")
+        if not self._metrics.conservation_holds():
+            raise SimulationError("request conservation violated")
+        return self._metrics
+
+    # -- event handlers ---------------------------------------------------
+
+    def _handle_request(self, event: RequestEvent) -> None:
+        cache = self.cache(event.cache_node)
+        doc_id = event.doc_id
+        now = event.timestamp_ms
+        size = self._origin.size_of(doc_id)
+
+        counted = self._warmup_remaining <= self._processed_requests
+        self._processed_requests += 1
+
+        if cache.node in self._down:
+            # The edge cache is unreachable; the client falls through to
+            # the origin directly (no group help, nothing cached).
+            stats = self._metrics.cache_stats(cache.node)
+            stats.requests_while_down += 1
+            account = self._origin_account(
+                cache.node, size, query_ms=0.0, now_ms=now
+            )
+            self._metrics.record_request(
+                cache.node, account, messages=0, size_bytes=size,
+                counted=counted,
+            )
+            return
+
+        self._expire_if_due(cache, doc_id, now)
+        if cache.holds(doc_id):
+            entry = cache.access(doc_id, now)
+            account = self._latency.local_hit()
+            self._metrics.record_request(
+                cache.node, account, messages=0, size_bytes=0,
+                counted=counted,
+                stale=entry.version < self._origin.version_of(doc_id),
+            )
+            return
+
+        lookup = self._protocol.lookup(cache.node, doc_id)
+        if lookup.outcome is LookupOutcome.GROUP_HIT:
+            assert lookup.holder is not None
+            # A holder found by the directory may itself have expired
+            # under TTL consistency; re-check before fetching from it.
+            holder_cache = self.cache(lookup.holder)
+            self._expire_if_due(holder_cache, doc_id, now)
+            if not holder_cache.holds(doc_id):
+                lookup = self._degrade_to_miss(lookup)
+
+        if lookup.outcome is LookupOutcome.GROUP_HIT:
+            assert lookup.holder is not None
+            account = self._latency.group_hit(
+                cache.node, lookup.holder, size, query_ms=lookup.query_ms
+            )
+            fetched_version = self.cache(lookup.holder).entry(doc_id).version
+        else:
+            account = self._origin_account(
+                cache.node, size, query_ms=lookup.query_ms, now_ms=now
+            )
+            fetched_version = self._origin.version_of(doc_id)
+
+        fetch_cost = account.fetch_ms + account.transfer_ms
+        if self._skip_placement(cache.node, lookup):
+            self._metrics.cache_stats(cache.node).placement_skips += 1
+        else:
+            admitted = cache.admit(
+                doc_id,
+                size,
+                fetch_cost_ms=fetch_cost,
+                now_ms=now,
+                version=fetched_version,
+            )
+            if admitted:
+                self._protocol.record_copy(cache.node, doc_id)
+        self._metrics.record_request(
+            cache.node,
+            account,
+            messages=lookup.messages,
+            size_bytes=size,
+            counted=counted,
+            stale=fetched_version < self._origin.version_of(doc_id),
+        )
+
+    def _origin_account(
+        self, cache_node: NodeId, size: int, query_ms: float, now_ms: float
+    ):
+        """Origin-fetch latency account, congestion-aware when enabled."""
+        processing = None
+        if self._origin_load is not None:
+            self._origin_load.record_arrival(now_ms)
+            processing = (
+                self._config.origin_processing_ms
+                * self._origin_load.inflation_factor(now_ms)
+            )
+        return self._latency.origin_fetch(
+            cache_node, size, query_ms=query_ms, processing_ms=processing
+        )
+
+    @property
+    def origin_load(self) -> Optional[OriginLoadTracker]:
+        """The congestion tracker (None unless origin_queueing is on)."""
+        return self._origin_load
+
+    def _skip_placement(self, cache_node: NodeId, lookup) -> bool:
+        """Cooperative placement: skip storing after a near-peer hit."""
+        cache_config = self._config.cache
+        if not cache_config.cooperative_placement:
+            return False
+        if lookup.outcome is not LookupOutcome.GROUP_HIT:
+            return False
+        assert lookup.holder is not None
+        return (
+            self._network.rtt(cache_node, lookup.holder)
+            <= cache_config.placement_rtt_threshold_ms
+        )
+
+    def _expire_if_due(self, cache: EdgeCache, doc_id, now_ms: float) -> None:
+        """Drop a TTL-expired copy before it can serve anything."""
+        if (
+            not self._config.consistency_enabled
+            or self._config.consistency_mode != "ttl"
+            or not cache.holds(doc_id)
+        ):
+            return
+        entry = cache.entry(doc_id)
+        if now_ms - entry.stored_at_ms > self._config.ttl_ms:
+            cache.expire(doc_id)
+
+    @staticmethod
+    def _degrade_to_miss(lookup):
+        """Re-shape a stale GROUP_HIT lookup into a GROUP_MISS."""
+        from repro.simulator.group_proto import LookupResult
+
+        return LookupResult(
+            outcome=LookupOutcome.GROUP_MISS,
+            holder=None,
+            query_ms=lookup.query_ms,
+            messages=lookup.messages,
+        )
+
+    def _handle_fail(self, event: CacheFailEvent) -> None:
+        """Crash a cache: contents lost, directory cleaned, node down."""
+        cache = self.cache(event.cache_node)
+        if event.cache_node in self._down:
+            raise SimulationError(
+                f"cache {event.cache_node} failed while already down"
+            )
+        for doc_id in list(cache.stored_ids()):
+            cache.expire(doc_id)  # eviction callback cleans the directory
+        self._down.add(event.cache_node)
+
+    def _handle_recover(self, event: CacheRecoverEvent) -> None:
+        """A failed cache rejoins, empty."""
+        if event.cache_node not in self._down:
+            raise SimulationError(
+                f"cache {event.cache_node} recovered but was not down"
+            )
+        self._down.discard(event.cache_node)
+
+    def _handle_update(self, event: OriginUpdateEvent) -> None:
+        self._origin.apply_update(event.doc_id)
+        if (
+            not self._config.consistency_enabled
+            or self._config.consistency_mode != "invalidate"
+        ):
+            return
+        # Server-driven invalidation: every cache holding the document
+        # drops its stale copy (see repro.simulator.origin for the
+        # immediacy simplification).
+        for holder in list(self._protocol.all_holders(event.doc_id)):
+            dropped = self.cache(holder).invalidate(event.doc_id)
+            if dropped:
+                self._metrics.record_invalidation(holder)

@@ -1,0 +1,125 @@
+"""Simulation events and the time-ordered event queue.
+
+Two event kinds drive the simulation, mirroring the paper's setup
+("caches are driven by request-log files, while the origin server reads
+continuously from an update log file"):
+
+* :class:`RequestEvent` — a client request arrives at an edge cache;
+* :class:`OriginUpdateEvent` — the origin updates a document.
+
+Ties are broken by event priority (updates before requests at the same
+timestamp, so a request sees the freshest state) and then by insertion
+order, which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.errors import SimulationError
+from repro.types import DocumentId, NodeId
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """A client request arriving at an edge cache."""
+
+    timestamp_ms: float
+    cache_node: NodeId
+    doc_id: DocumentId
+    priority: int = field(default=1, init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class OriginUpdateEvent:
+    """An origin-side document update."""
+
+    timestamp_ms: float
+    doc_id: DocumentId
+    priority: int = field(default=0, init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class CacheFailEvent:
+    """A cache crashes: contents lost, node unavailable until recovery.
+
+    Failures sort before requests at the same timestamp so a request
+    never hits a cache that failed "at the same moment".
+    """
+
+    timestamp_ms: float
+    cache_node: NodeId
+    priority: int = field(default=0, init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class CacheRecoverEvent:
+    """A failed cache rejoins, empty."""
+
+    timestamp_ms: float
+    cache_node: NodeId
+    priority: int = field(default=0, init=False, repr=False)
+
+
+Event = Union[
+    RequestEvent, OriginUpdateEvent, CacheFailEvent, CacheRecoverEvent
+]
+
+
+class EventQueue:
+    """A deterministic min-heap of simulation events.
+
+    Ordering key: ``(timestamp_ms, priority, insertion_sequence)``.
+    Popping never goes backwards in time; pushing an event earlier than
+    the last popped timestamp raises :class:`SimulationError` (the
+    engine never schedules into the past).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._sequence = 0
+        self._last_popped_ms: float = -float("inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Insert an event; must not precede the last popped timestamp."""
+        if event.timestamp_ms < 0:
+            raise SimulationError(
+                f"event timestamp must be >= 0, got {event.timestamp_ms}"
+            )
+        if event.timestamp_ms < self._last_popped_ms:
+            raise SimulationError(
+                f"cannot schedule into the past: {event.timestamp_ms} < "
+                f"{self._last_popped_ms}"
+            )
+        heapq.heappush(
+            self._heap,
+            (event.timestamp_ms, event.priority, self._sequence, event),
+        )
+        self._sequence += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        timestamp, _priority, _seq, event = heapq.heappop(self._heap)
+        self._last_popped_ms = timestamp
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    @property
+    def now_ms(self) -> float:
+        """Timestamp of the most recently popped event (sim clock)."""
+        return self._last_popped_ms if self._heap or self._sequence else 0.0

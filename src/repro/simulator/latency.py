@@ -1,0 +1,133 @@
+"""Per-request latency accounting.
+
+The edge cache latency of a request is ``T_S - T_A`` (paper Section 4):
+the time between arrival at the edge cache and the moment the cache can
+serve it.  :class:`LatencyModel` decomposes that time per service path:
+
+* **local hit** — local processing only;
+* **group hit** — local processing + query phase (see
+  :mod:`repro.simulator.group_proto`) + one RTT to the chosen holder for
+  the fetch + transfer time;
+* **origin fetch** — local processing + query phase (if the cache has
+  peers) + one RTT to the origin + origin processing + transfer time.
+
+Transfer time is ``size / bandwidth``; propagation and transmission are
+charged separately, which is the standard store-and-forward first-order
+model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import SimulationConfig
+from repro.errors import SimulationError
+from repro.topology.network import EdgeCacheNetwork
+from repro.types import NodeId
+
+
+class ServicePath(enum.Enum):
+    """Where a request was ultimately served from."""
+
+    LOCAL_HIT = "local_hit"
+    GROUP_HIT = "group_hit"
+    ORIGIN_FETCH = "origin_fetch"
+
+
+@dataclass(frozen=True)
+class ServiceAccount:
+    """Latency breakdown of one served request (all in ms)."""
+
+    path: ServicePath
+    total_ms: float
+    query_ms: float
+    fetch_ms: float
+    transfer_ms: float
+
+    def __post_init__(self) -> None:
+        if self.total_ms < 0:
+            raise SimulationError(f"negative total latency {self.total_ms}")
+
+
+class LatencyModel:
+    """Computes :class:`ServiceAccount` values for one network/config."""
+
+    def __init__(
+        self, network: EdgeCacheNetwork, config: SimulationConfig
+    ) -> None:
+        config.validate()
+        self._network = network
+        self._config = config
+
+    def transfer_ms(self, size_bytes: int) -> float:
+        """Transmission time of a document over the modelled link."""
+        if size_bytes < 0:
+            raise SimulationError(f"negative size {size_bytes}")
+        return size_bytes / self._config.link_bandwidth_bytes_per_ms
+
+    def local_hit(self) -> ServiceAccount:
+        return ServiceAccount(
+            path=ServicePath.LOCAL_HIT,
+            total_ms=self._config.cache.local_processing_ms,
+            query_ms=0.0,
+            fetch_ms=0.0,
+            transfer_ms=0.0,
+        )
+
+    def group_hit(
+        self,
+        cache: NodeId,
+        holder: NodeId,
+        size_bytes: int,
+        query_ms: float,
+    ) -> ServiceAccount:
+        fetch = self._network.rtt(cache, holder)
+        transfer = self.transfer_ms(size_bytes)
+        total = (
+            self._config.cache.local_processing_ms
+            + query_ms
+            + fetch
+            + transfer
+        )
+        return ServiceAccount(
+            path=ServicePath.GROUP_HIT,
+            total_ms=total,
+            query_ms=query_ms,
+            fetch_ms=fetch,
+            transfer_ms=transfer,
+        )
+
+    def origin_fetch(
+        self,
+        cache: NodeId,
+        size_bytes: int,
+        query_ms: float,
+        processing_ms: Optional[float] = None,
+    ) -> ServiceAccount:
+        """Origin-fetch account; ``processing_ms`` overrides the flat
+        configured processing time (used by the origin-queueing model)."""
+        if processing_ms is None:
+            processing_ms = self._config.origin_processing_ms
+        if processing_ms < 0:
+            raise SimulationError(
+                f"processing_ms must be >= 0, got {processing_ms}"
+            )
+        fetch = (
+            self._network.rtt(cache, self._network.origin) + processing_ms
+        )
+        transfer = self.transfer_ms(size_bytes)
+        total = (
+            self._config.cache.local_processing_ms
+            + query_ms
+            + fetch
+            + transfer
+        )
+        return ServiceAccount(
+            path=ServicePath.ORIGIN_FETCH,
+            total_ms=total,
+            query_ms=query_ms,
+            fetch_ms=fetch,
+            transfer_ms=transfer,
+        )

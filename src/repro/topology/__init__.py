@@ -1,0 +1,44 @@
+"""Network topology substrate.
+
+A from-scratch replacement for the GT-ITM transit-stub topology generator
+the paper uses, plus all-pairs RTT computation and cache/server placement:
+
+* :mod:`repro.topology.graph` — the weighted router graph model;
+* :mod:`repro.topology.waxman` — Waxman random graphs (building block);
+* :mod:`repro.topology.transit_stub` — the hierarchical generator;
+* :mod:`repro.topology.distance` — :class:`DistanceMatrix` (RTT matrix);
+* :mod:`repro.topology.placement` — pinning origin + caches to routers;
+* :mod:`repro.topology.network` — :class:`EdgeCacheNetwork`, the model the
+  rest of the library consumes.
+"""
+
+from repro.topology.graph import NetworkGraph, RouterTier
+from repro.topology.waxman import waxman_graph
+from repro.topology.transit_stub import generate_transit_stub
+from repro.topology.distance import DistanceMatrix, compute_rtt_matrix
+from repro.topology.placement import Placement, place_network
+from repro.topology.network import (
+    EdgeCacheNetwork,
+    build_network,
+    network_from_matrix,
+)
+from repro.topology.drift import drift_network, drift_series
+from repro.topology.stats import NetworkStats, network_stats
+
+__all__ = [
+    "NetworkGraph",
+    "RouterTier",
+    "waxman_graph",
+    "generate_transit_stub",
+    "DistanceMatrix",
+    "compute_rtt_matrix",
+    "Placement",
+    "place_network",
+    "EdgeCacheNetwork",
+    "build_network",
+    "network_from_matrix",
+    "drift_network",
+    "drift_series",
+    "NetworkStats",
+    "network_stats",
+]

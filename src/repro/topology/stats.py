@@ -1,0 +1,66 @@
+"""Topology and network statistics.
+
+Operator-facing summaries of a generated edge cache network: RTT
+distribution shape, server-distance spread, and how well the placement
+matches the paper's density assumptions.  The ``repro network`` CLI
+prints these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.network import EdgeCacheNetwork
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """RTT-level summary of an edge cache network."""
+
+    num_caches: int
+    mean_pairwise_rtt_ms: float
+    median_pairwise_rtt_ms: float
+    diameter_ms: float
+    mean_server_distance_ms: float
+    min_server_distance_ms: float
+    max_server_distance_ms: float
+    median_nearest_peer_rtt_ms: float
+
+    def __str__(self) -> str:
+        return (
+            f"caches={self.num_caches} "
+            f"pairwise-rtt mean={self.mean_pairwise_rtt_ms:.1f} "
+            f"median={self.median_pairwise_rtt_ms:.1f} "
+            f"diameter={self.diameter_ms:.1f} | "
+            f"server-dist {self.min_server_distance_ms:.1f}.."
+            f"{self.max_server_distance_ms:.1f} "
+            f"(mean {self.mean_server_distance_ms:.1f}) | "
+            f"nearest-peer median={self.median_nearest_peer_rtt_ms:.1f}"
+        )
+
+
+def network_stats(network: EdgeCacheNetwork) -> NetworkStats:
+    """Compute :class:`NetworkStats` from the ground-truth RTT matrix."""
+    n = network.num_caches
+    if n < 2:
+        raise TopologyError("stats need at least 2 caches")
+    cache_block = network.distances.submatrix(network.cache_nodes)
+    iu, ju = np.triu_indices(n, k=1)
+    pairwise = cache_block[iu, ju]
+    nearest_peer = (
+        cache_block + np.diag(np.full(n, np.inf))
+    ).min(axis=1)
+    server = network.server_distances()
+    return NetworkStats(
+        num_caches=n,
+        mean_pairwise_rtt_ms=float(pairwise.mean()),
+        median_pairwise_rtt_ms=float(np.median(pairwise)),
+        diameter_ms=float(pairwise.max()),
+        mean_server_distance_ms=float(server.mean()),
+        min_server_distance_ms=float(server.min()),
+        max_server_distance_ms=float(server.max()),
+        median_nearest_peer_rtt_ms=float(np.median(nearest_peer)),
+    )

@@ -1,0 +1,169 @@
+"""Hierarchical transit-stub topology generator (GT-ITM substitute).
+
+Reproduces the topology family of Zegura, Calvert & Bhattacharjee,
+"How to Model an Internetwork" (INFOCOM 1996), which the paper generates
+with the GT-ITM tool:
+
+* a top level of *transit domains* — small, densely meshed backbones —
+  connected to each other by slow long-haul links;
+* each transit router hosts several *stub domains* — access networks of
+  fast, short links — attached by medium-latency transit-stub links;
+* optional extra stub-to-transit links model multi-homed stubs.
+
+Intra-domain connectivity uses the Waxman model
+(:mod:`repro.topology.waxman`), as GT-ITM does.  Edge latencies are
+drawn per tier from the ranges in
+:class:`repro.config.TransitStubConfig`, giving the characteristic
+bimodal RTT distribution (cheap local paths, expensive cross-backbone
+paths) that the SL/SDSL clustering behaviour depends on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.config import TransitStubConfig
+from repro.errors import TopologyError
+from repro.topology.graph import NetworkGraph, RouterTier
+from repro.topology.waxman import scale_distances_to_latencies, waxman_graph
+
+
+def generate_transit_stub(
+    config: TransitStubConfig,
+    rng: np.random.Generator,
+) -> NetworkGraph:
+    """Generate a connected transit-stub router graph.
+
+    Router ids are assigned densely from 0; transit routers come first
+    (domain by domain), then stub routers.  The result is guaranteed
+    connected (raises :class:`repro.errors.TopologyError` otherwise,
+    which would indicate a generator bug).
+    """
+    config.validate()
+    graph = NetworkGraph()
+    next_router = 0
+
+    # --- transit domains ----------------------------------------------
+    transit_domains: List[List[int]] = []
+    for t in range(config.transit_domains):
+        domain_label = f"T{t}"
+        size = config.transit_nodes_per_domain
+        positions, edges = waxman_graph(
+            size, rng, alpha=0.7, beta=0.6,
+            extra_edge_prob=config.intra_domain_edge_prob,
+        )
+        routers = list(range(next_router, next_router + size))
+        next_router += size
+        for local, router in enumerate(routers):
+            graph.add_router(
+                router,
+                RouterTier.TRANSIT,
+                domain_label,
+                position=(float(positions[local, 0]), float(positions[local, 1])),
+            )
+        latencied = scale_distances_to_latencies(
+            edges, config.intra_transit_latency_ms, rng
+        )
+        for i, j, latency in latencied:
+            graph.add_link(routers[i], routers[j], latency)
+        transit_domains.append(routers)
+
+    _connect_transit_domains(graph, transit_domains, config, rng)
+
+    # --- stub domains ---------------------------------------------------
+    all_transit = [r for domain in transit_domains for r in domain]
+    stub_index = 0
+    for gateway in all_transit:
+        for _ in range(config.stub_domains_per_transit_node):
+            domain_label = f"S{stub_index}"
+            stub_index += 1
+            size = config.stub_nodes_per_domain
+            positions, edges = waxman_graph(
+                size, rng, alpha=0.5, beta=0.4,
+                extra_edge_prob=config.intra_domain_edge_prob / 2.0,
+            )
+            routers = list(range(next_router, next_router + size))
+            next_router += size
+            for local, router in enumerate(routers):
+                graph.add_router(
+                    router,
+                    RouterTier.STUB,
+                    domain_label,
+                    position=(
+                        float(positions[local, 0]),
+                        float(positions[local, 1]),
+                    ),
+                )
+            latencied = scale_distances_to_latencies(
+                edges, config.intra_stub_latency_ms, rng
+            )
+            for i, j, latency in latencied:
+                graph.add_link(routers[i], routers[j], latency)
+
+            # Primary attachment: the hosting transit router.
+            attach = routers[int(rng.integers(size))]
+            graph.add_link(
+                attach,
+                gateway,
+                float(rng.uniform(*config.transit_stub_latency_ms)),
+            )
+            # Multi-homing: occasionally attach a second stub router to a
+            # random transit router elsewhere in the backbone.
+            if rng.random() < config.extra_stub_transit_edge_prob:
+                other_transit = all_transit[int(rng.integers(len(all_transit)))]
+                second = routers[int(rng.integers(size))]
+                if other_transit != gateway or second != attach:
+                    graph.add_link(
+                        second,
+                        other_transit,
+                        float(rng.uniform(*config.transit_stub_latency_ms)),
+                    )
+
+    graph.require_connected()
+    if graph.router_count != config.total_routers:
+        raise TopologyError(
+            f"generator produced {graph.router_count} routers, "
+            f"expected {config.total_routers}"
+        )
+    return graph
+
+
+def _connect_transit_domains(
+    graph: NetworkGraph,
+    transit_domains: List[List[int]],
+    config: TransitStubConfig,
+    rng: np.random.Generator,
+) -> None:
+    """Wire the transit domains into a connected backbone.
+
+    GT-ITM connects transit domains with a random connected domain-level
+    graph; we build a random spanning tree over the domains (uniform
+    Prüfer-like attachment) plus extra domain pairs with probability
+    ``extra_transit_edge_prob``, then realise each domain-level edge as a
+    router-level long-haul link between random representatives.
+    """
+    count = len(transit_domains)
+    if count <= 1:
+        return
+
+    def link_domains(a: int, b: int) -> None:
+        ra = transit_domains[a][int(rng.integers(len(transit_domains[a])))]
+        rb = transit_domains[b][int(rng.integers(len(transit_domains[b])))]
+        graph.add_link(
+            ra, rb, float(rng.uniform(*config.transit_transit_latency_ms))
+        )
+
+    # Random spanning tree: attach each domain to a random earlier one.
+    order = rng.permutation(count)
+    for pos in range(1, count):
+        a = int(order[pos])
+        b = int(order[int(rng.integers(pos))])
+        link_domains(a, b)
+
+    # Extra backbone edges.
+    for a in range(count):
+        for b in range(a + 1, count):
+            if rng.random() < config.extra_transit_edge_prob:
+                link_domains(a, b)

@@ -1,0 +1,146 @@
+"""Waxman random-graph edges, the intra-domain building block.
+
+GT-ITM builds each transit/stub domain as a random graph over points in
+a unit square where the probability of an edge between two routers
+decays with their Euclidean distance (Waxman's model).  We reproduce
+that here and guarantee connectivity by overlaying a minimum spanning
+tree over the Euclidean distances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+
+def waxman_graph(
+    n: int,
+    rng: np.random.Generator,
+    alpha: float = 0.4,
+    beta: float = 0.35,
+    extra_edge_prob: float = 0.0,
+) -> Tuple[np.ndarray, List[Tuple[int, int, float]]]:
+    """Generate a connected Waxman graph on ``n`` points in a unit square.
+
+    Returns ``(positions, edges)`` where ``positions`` is an ``(n, 2)``
+    array and ``edges`` is a list of ``(i, j, distance)`` tuples with
+    ``i < j`` and ``distance`` the Euclidean distance between the points
+    (callers convert distances into latencies).
+
+    ``alpha`` scales the overall edge density; ``beta`` controls how
+    quickly the edge probability decays with distance (both per Waxman).
+    ``extra_edge_prob`` adds uniform random edges on top, which GT-ITM
+    uses to thicken small domains.
+    """
+    if n < 1:
+        raise TopologyError(f"waxman_graph needs n >= 1, got {n}")
+    if not 0 < alpha <= 1 or not 0 < beta <= 1:
+        raise TopologyError(
+            f"waxman parameters must be in (0, 1]: alpha={alpha}, beta={beta}"
+        )
+
+    positions = rng.random((n, 2))
+    if n == 1:
+        return positions, []
+
+    diff = positions[:, None, :] - positions[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    max_dist = float(dist.max())
+    if max_dist == 0.0:
+        # All points coincide (possible for tiny n with a degenerate rng);
+        # fall back to a unit distance scale.
+        max_dist = 1.0
+
+    edges: Dict[Tuple[int, int], float] = {}
+    upper_i, upper_j = np.triu_indices(n, k=1)
+    prob = alpha * np.exp(-dist[upper_i, upper_j] / (beta * max_dist))
+    draws = rng.random(prob.shape)
+    accept = draws < prob
+    if extra_edge_prob > 0:
+        accept |= rng.random(prob.shape) < extra_edge_prob
+    for i, j, take in zip(upper_i, upper_j, accept):
+        if take:
+            edges[(int(i), int(j))] = float(dist[i, j])
+
+    _ensure_connected(n, dist, edges)
+    return positions, [(i, j, d) for (i, j), d in sorted(edges.items())]
+
+
+def _ensure_connected(
+    n: int,
+    dist: np.ndarray,
+    edges: Dict[Tuple[int, int], float],
+) -> None:
+    """Add Euclidean-MST edges between components until connected.
+
+    Runs a union-find over the accepted edges, then greedily joins the
+    remaining components with the shortest available inter-component
+    edge — i.e. the Kruskal steps the random draw missed.
+    """
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> bool:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return False
+        parent[ra] = rb
+        return True
+
+    components = n
+    for i, j in edges:
+        if union(i, j):
+            components -= 1
+    if components == 1:
+        return
+
+    upper_i, upper_j = np.triu_indices(n, k=1)
+    order = np.argsort(dist[upper_i, upper_j], kind="stable")
+    for idx in order:
+        i, j = int(upper_i[idx]), int(upper_j[idx])
+        if union(i, j):
+            edges[(i, j)] = float(dist[i, j])
+            components -= 1
+            if components == 1:
+                return
+
+
+def scale_distances_to_latencies(
+    edges: Sequence[Tuple[int, int, float]],
+    latency_range_ms: Tuple[float, float],
+    rng: np.random.Generator,
+) -> List[Tuple[int, int, float]]:
+    """Convert unit-square distances into latencies within a range.
+
+    Distances are affinely mapped into ``latency_range_ms`` and lightly
+    jittered (±10%) so equal-length links do not produce degenerate tied
+    shortest paths everywhere.
+    """
+    low, high = latency_range_ms
+    if not 0 < low <= high:
+        raise TopologyError(
+            f"latency range must satisfy 0 < low <= high, got ({low}, {high})"
+        )
+    if not edges:
+        return []
+    dists = np.asarray([d for _, _, d in edges])
+    d_min, d_max = float(dists.min()), float(dists.max())
+    span = d_max - d_min
+    out: List[Tuple[int, int, float]] = []
+    for (i, j, d) in edges:
+        if span == 0.0:
+            base = (low + high) / 2.0
+        else:
+            base = low + (d - d_min) / span * (high - low)
+        jitter = 1.0 + rng.uniform(-0.1, 0.1)
+        latency = min(max(base * jitter, low), high)
+        out.append((i, j, float(latency)))
+    return out

@@ -1,0 +1,25 @@
+"""Cross-cutting utilities: seeded RNG streams, streaming statistics,
+plain-text table rendering, and argument validation helpers."""
+
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.stats import OnlineStats, percentile, summarize
+from repro.utils.tables import Table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_non_negative,
+    check_in_range,
+)
+
+__all__ = [
+    "RngFactory",
+    "spawn_rng",
+    "OnlineStats",
+    "percentile",
+    "summarize",
+    "Table",
+    "check_fraction",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+]

@@ -1,0 +1,168 @@
+"""Streaming and batch summary statistics used by metrics collection.
+
+The simulator records hundreds of thousands of per-request latencies; we
+aggregate them with Welford's online algorithm (:class:`OnlineStats`) so
+the full series never has to be materialised unless explicitly requested.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class OnlineStats:
+    """Welford online mean/variance accumulator with min/max tracking.
+
+    >>> s = OnlineStats()
+    >>> for x in [1.0, 2.0, 3.0]:
+    ...     s.add(x)
+    >>> s.mean
+    2.0
+    >>> round(s.variance, 6)
+    1.0
+    """
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Fold an iterable of observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new accumulator equivalent to seeing both streams."""
+        merged = OnlineStats()
+        if self._count == 0:
+            merged._copy_from(other)
+            return merged
+        if other._count == 0:
+            merged._copy_from(self)
+            return merged
+        n = self._count + other._count
+        delta = other._mean - self._mean
+        merged._count = n
+        merged._mean = self._mean + delta * other._count / n
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self._count * other._count / n
+        )
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    def _copy_from(self, other: "OnlineStats") -> None:
+        self._count = other._count
+        self._mean = other._mean
+        self._m2 = other._m2
+        self._min = other._min
+        self._max = other._max
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("mean of empty stream")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); zero for a single observation."""
+        if self._count == 0:
+            raise ValueError("variance of empty stream")
+        if self._count == 1:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValueError("minimum of empty stream")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValueError("maximum of empty stream")
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._count == 0:
+            return "OnlineStats(empty)"
+        return (
+            f"OnlineStats(n={self._count}, mean={self._mean:.4g}, "
+            f"sd={self.stddev:.4g}, min={self._min:.4g}, max={self._max:.4g})"
+        )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (``q`` in [0, 100])."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sequence")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Batch summary of a numeric series."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} sd={self.stddev:.3f} "
+            f"min={self.minimum:.3f} p50={self.p50:.3f} "
+            f"p95={self.p95:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` for a non-empty series."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        stddev=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,86 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; :class:`Table` gives those printouts a stable, aligned format
+without pulling in any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["scheme", "gicost"])
+    >>> t.add_row(["SL", 12.5])
+    >>> t.add_row(["random", 14.25])
+    >>> print(t.render())
+    scheme | gicost
+    ------ | ------
+    SL     |  12.50
+    random |  14.25
+    """
+
+    def __init__(self, columns: Sequence[str], float_format: str = "{:.2f}") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self._columns = [str(c) for c in columns]
+        self._float_format = float_format
+        self._rows: List[List[str]] = []
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self._columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has "
+                f"{len(self._columns)} columns"
+            )
+        self._rows.append([self._format_cell(v) for v in values])
+
+    def _format_cell(self, value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return self._float_format.format(value)
+        return str(value)
+
+    def render(self) -> str:
+        """Render the table as an aligned multi-line string."""
+        widths = [len(c) for c in self._columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self._columns))
+        rule = " | ".join("-" * widths[i] for i in range(len(self._columns)))
+        lines = [header, rule]
+        for row in self._rows:
+            rendered = []
+            for i, cell in enumerate(row):
+                # Right-align numerics, left-align text.
+                if _looks_numeric(cell):
+                    rendered.append(cell.rjust(widths[i]))
+                else:
+                    rendered.append(cell.ljust(widths[i]))
+            lines.append(" | ".join(rendered))
+        return "\n".join(line.rstrip() for line in lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _looks_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,118 @@
+"""The "Olympics-like" workload preset — a complete synthetic workload.
+
+Substitutes the proprietary 2000 Sydney Olympics IBM trace (see
+DESIGN.md).  :func:`generate_workload` bundles a document catalog, a
+request log spanning all caches, and an update log covering the request
+horizon into one :class:`Workload` value that the simulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.config import WorkloadConfig
+from repro.errors import WorkloadError
+from repro.types import NodeId
+from repro.utils.rng import SeedLike, spawn_rng
+from repro.workload.documents import DocumentCatalog, build_catalog
+from repro.workload.requests import generate_request_log
+from repro.workload.trace import (
+    RequestRecord,
+    UpdateRecord,
+    read_request_log,
+    read_update_log,
+    write_request_log,
+    write_update_log,
+)
+from repro.workload.updates import generate_update_log
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A catalog plus time-sorted request and update logs."""
+
+    catalog: DocumentCatalog
+    requests: tuple
+    updates: tuple
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise WorkloadError("a workload needs at least one request")
+        for record in self.requests:
+            if record.doc_id >= len(self.catalog):
+                raise WorkloadError(
+                    f"request for unknown doc {record.doc_id} "
+                    f"(catalog size {len(self.catalog)})"
+                )
+        for record in self.updates:
+            if record.doc_id >= len(self.catalog):
+                raise WorkloadError(
+                    f"update for unknown doc {record.doc_id} "
+                    f"(catalog size {len(self.catalog)})"
+                )
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def num_updates(self) -> int:
+        return len(self.updates)
+
+    @property
+    def horizon_ms(self) -> float:
+        """Timestamp of the last event in the workload."""
+        last_request = self.requests[-1].timestamp_ms
+        last_update = self.updates[-1].timestamp_ms if self.updates else 0.0
+        return max(last_request, last_update)
+
+    def requests_of(self, cache: NodeId) -> List[RequestRecord]:
+        """The request stream arriving at one cache."""
+        return [r for r in self.requests if r.cache_node == cache]
+
+    def save(self, request_path: PathLike, update_path: PathLike) -> None:
+        """Write both logs to disk (catalog is regenerable from config)."""
+        write_request_log(list(self.requests), request_path)
+        write_update_log(list(self.updates), update_path)
+
+
+def generate_workload(
+    cache_nodes: Sequence[NodeId],
+    config: Optional[WorkloadConfig] = None,
+    seed: SeedLike = None,
+) -> Workload:
+    """Generate a complete Olympics-like workload for the given caches.
+
+    >>> w = generate_workload([1, 2, 3], seed=1)
+    >>> w.num_requests > 0
+    True
+    """
+    config = config or WorkloadConfig()
+    config.validate()
+    rng = spawn_rng(seed)
+    catalog = build_catalog(config.documents, seed=rng)
+    requests = generate_request_log(cache_nodes, config, rng)
+    if not requests:
+        raise WorkloadError("generated an empty request log")
+    horizon = config.duration_ms or requests[-1].timestamp_ms
+    updates = generate_update_log(catalog, config, horizon, rng)
+    return Workload(
+        catalog=catalog, requests=tuple(requests), updates=tuple(updates)
+    )
+
+
+def load_workload(
+    catalog: DocumentCatalog,
+    request_path: PathLike,
+    update_path: PathLike,
+) -> Workload:
+    """Rebuild a workload from logs previously written by ``save``."""
+    requests = read_request_log(request_path)
+    updates = read_update_log(update_path)
+    return Workload(
+        catalog=catalog, requests=tuple(requests), updates=tuple(updates)
+    )

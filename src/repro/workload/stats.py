@@ -1,0 +1,120 @@
+"""Workload/trace statistics.
+
+Summaries the evaluation cares about: how Zipf-like the popularity
+distribution actually is, how similar the caches' request patterns are
+(the paper *assumes* "considerable degree of similarity" — this module
+measures it), and per-cache volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.types import DocumentId, NodeId
+from repro.workload.trace import RequestRecord
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary of one request log."""
+
+    num_requests: int
+    num_caches: int
+    num_distinct_docs: int
+    duration_ms: float
+    top_doc_share: float
+    zipf_alpha_estimate: float
+    mean_pairwise_overlap: float
+
+    def __str__(self) -> str:
+        return (
+            f"requests={self.num_requests} caches={self.num_caches} "
+            f"docs={self.num_distinct_docs} "
+            f"duration={self.duration_ms / 1000:.1f}s "
+            f"top-doc={self.top_doc_share:.1%} "
+            f"zipf-alpha~{self.zipf_alpha_estimate:.2f} "
+            f"overlap={self.mean_pairwise_overlap:.2f}"
+        )
+
+
+def popularity_counts(
+    requests: Sequence[RequestRecord],
+) -> Dict[DocumentId, int]:
+    """Request count per document."""
+    counts: Dict[DocumentId, int] = {}
+    for record in requests:
+        counts[record.doc_id] = counts.get(record.doc_id, 0) + 1
+    return counts
+
+
+def estimate_zipf_alpha(counts: Dict[DocumentId, int]) -> float:
+    """Least-squares slope of log(count) vs log(rank).
+
+    A crude but standard estimator: fit ``log c_r = -alpha log r + b``
+    over the documents with at least 2 requests (singletons are rank
+    noise).
+    """
+    values = sorted(counts.values(), reverse=True)
+    values = [v for v in values if v >= 2]
+    if len(values) < 3:
+        raise WorkloadError(
+            "need at least 3 documents with >=2 requests to fit alpha"
+        )
+    ranks = np.arange(1, len(values) + 1, dtype=float)
+    slope, _intercept = np.polyfit(np.log(ranks), np.log(values), 1)
+    return float(-slope)
+
+
+def top_document_overlap(
+    requests: Sequence[RequestRecord],
+    top: int = 20,
+) -> float:
+    """Mean pairwise Jaccard overlap of the caches' top-N document sets.
+
+    This quantifies the paper's similarity assumption: 1.0 means every
+    cache's hot set is identical, 0.0 means fully disjoint interests.
+    """
+    if top < 1:
+        raise WorkloadError(f"top must be >= 1, got {top}")
+    by_cache: Dict[NodeId, Dict[DocumentId, int]] = {}
+    for record in requests:
+        counts = by_cache.setdefault(record.cache_node, {})
+        counts[record.doc_id] = counts.get(record.doc_id, 0) + 1
+    if len(by_cache) < 2:
+        raise WorkloadError("need >= 2 caches to measure overlap")
+    top_sets = {}
+    for cache, counts in by_cache.items():
+        ranked = sorted(counts, key=lambda d: (-counts[d], d))
+        top_sets[cache] = set(ranked[:top])
+    caches = sorted(top_sets)
+    overlaps = []
+    for i, a in enumerate(caches):
+        for b in caches[i + 1:]:
+            union = top_sets[a] | top_sets[b]
+            inter = top_sets[a] & top_sets[b]
+            overlaps.append(len(inter) / len(union) if union else 0.0)
+    return float(np.mean(overlaps))
+
+
+def summarize_trace(requests: Sequence[RequestRecord]) -> TraceStats:
+    """Full :class:`TraceStats` for a request log."""
+    if not requests:
+        raise WorkloadError("cannot summarize an empty request log")
+    counts = popularity_counts(requests)
+    total = len(requests)
+    caches = {r.cache_node for r in requests}
+    return TraceStats(
+        num_requests=total,
+        num_caches=len(caches),
+        num_distinct_docs=len(counts),
+        duration_ms=max(r.timestamp_ms for r in requests),
+        top_doc_share=max(counts.values()) / total,
+        zipf_alpha_estimate=estimate_zipf_alpha(counts),
+        mean_pairwise_overlap=(
+            top_document_overlap(requests) if len(caches) >= 2 else 1.0
+        ),
+    )

@@ -1,0 +1,49 @@
+"""Origin-side update-log generation.
+
+The origin "reads continuously from an update log file": a Poisson
+stream of updates over the *dynamic* subset of the catalog.  Update
+targets are Zipf-distributed over the dynamic documents — on a sports
+site the hottest pages (live scores) also change the most, which is the
+worst case for caching and exactly the regime the paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.config import WorkloadConfig
+from repro.errors import WorkloadError
+from repro.workload.documents import DocumentCatalog
+from repro.workload.trace import UpdateRecord
+from repro.workload.zipf import ZipfSampler
+
+
+def generate_update_log(
+    catalog: DocumentCatalog,
+    config: WorkloadConfig,
+    horizon_ms: float,
+    rng: np.random.Generator,
+) -> List[UpdateRecord]:
+    """Generate a time-sorted update log up to ``horizon_ms``.
+
+    Returns an empty list when the catalog has no dynamic documents.
+    """
+    config.validate()
+    if horizon_ms <= 0:
+        raise WorkloadError(f"horizon_ms must be > 0, got {horizon_ms}")
+    dynamic = catalog.dynamic_ids()
+    if not dynamic:
+        return []
+
+    sampler = ZipfSampler(len(dynamic), config.zipf_alpha)
+    records: List[UpdateRecord] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(config.mean_update_interarrival_ms))
+        if t > horizon_ms:
+            break
+        target = dynamic[sampler.sample_one(rng)]
+        records.append(UpdateRecord(timestamp_ms=t, doc_id=target))
+    return records

@@ -1,0 +1,77 @@
+"""Bounded Zipf sampling over a document catalog.
+
+Web request popularity famously follows a Zipf-like law with exponent
+around 0.6–1.0; the simulator uses :class:`ZipfSampler` for both the
+shared global popularity ranking and per-cache local rankings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class ZipfSampler:
+    """Samples ranks from a bounded Zipf(alpha) distribution.
+
+    Rank ``r`` (0-based) has probability proportional to
+    ``1 / (r + 1) ** alpha``.  An optional permutation maps ranks to
+    item ids, so several samplers can share one popularity law while
+    disagreeing on *which* item is popular (per-cache localised
+    interest).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        alpha: float,
+        permutation: Optional[Sequence[int]] = None,
+    ) -> None:
+        if n < 1:
+            raise WorkloadError(f"Zipf needs n >= 1 items, got {n}")
+        if alpha <= 0:
+            raise WorkloadError(f"Zipf alpha must be > 0, got {alpha}")
+        self._n = n
+        self._alpha = alpha
+        weights = (np.arange(1, n + 1, dtype=float)) ** (-alpha)
+        self._probs = weights / weights.sum()
+        self._cdf = np.cumsum(self._probs)
+        if permutation is None:
+            self._perm = np.arange(n)
+        else:
+            perm = np.asarray(list(permutation), dtype=int)
+            if perm.shape != (n,) or set(perm.tolist()) != set(range(n)):
+                raise WorkloadError(
+                    "permutation must be a rearrangement of range(n)"
+                )
+            self._perm = perm
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    def probability_of_rank(self, rank: int) -> float:
+        """P(sample has popularity rank ``rank``)."""
+        if not 0 <= rank < self._n:
+            raise WorkloadError(f"rank {rank} out of range [0, {self._n})")
+        return float(self._probs[rank])
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` item ids (permuted ranks)."""
+        if size < 1:
+            raise WorkloadError(f"size must be >= 1, got {size}")
+        draws = rng.random(size)
+        ranks = np.searchsorted(self._cdf, draws, side="left")
+        ranks = np.minimum(ranks, self._n - 1)
+        return self._perm[ranks]
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        """Draw a single item id."""
+        return int(self.sample(rng, size=1)[0])

@@ -1,0 +1,66 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.asciiplot import sketch
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.errors import ReproError
+
+
+def result_of(values_a=(5.0, 1.0, 9.0), values_b=None):
+    series = [SeriesResult("a", tuple(values_a))]
+    if values_b is not None:
+        series.append(SeriesResult("b", tuple(values_b)))
+    return ExperimentResult(
+        experiment_id="figX",
+        x_label="k",
+        x_values=tuple(range(len(values_a))),
+        series=tuple(series),
+    )
+
+
+class TestSketch:
+    def test_contains_axis_and_legend(self):
+        text = sketch(result_of())
+        assert "k: 0 .. 2" in text
+        assert "o a" in text
+
+    def test_extremes_on_chart_edges(self):
+        text = sketch(result_of(values_a=(0.0, 10.0)), height=5)
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("10.0")
+        assert "0.0" in lines[4]
+
+    def test_two_series_two_markers(self):
+        text = sketch(result_of(values_b=(1.0, 2.0, 3.0)))
+        assert "o" in text and "x" in text
+        assert "x b" in text
+
+    def test_overlap_marker(self):
+        text = sketch(
+            result_of(values_a=(1.0, 2.0), values_b=(1.0, 5.0)), height=6
+        )
+        assert "!" in text
+
+    def test_flat_series_handled(self):
+        text = sketch(result_of(values_a=(3.0, 3.0, 3.0)))
+        assert "o" in text
+
+    def test_single_point_falls_back_to_table(self):
+        result = ExperimentResult(
+            experiment_id="figX",
+            x_label="k",
+            x_values=(1,),
+            series=(SeriesResult("a", (2.0,)),),
+        )
+        text = sketch(result)
+        assert "|" in text  # table rendering
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError):
+            sketch(result_of(), height=2)
+
+    def test_row_count(self):
+        text = sketch(result_of(), height=8, width=30)
+        # 8 chart rows + axis + x label + legend.
+        assert len(text.splitlines()) == 11

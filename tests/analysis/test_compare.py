@@ -1,0 +1,91 @@
+"""Tests for experiment result comparison."""
+
+import pytest
+
+from repro.analysis import compare_results
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.errors import ReproError
+
+
+def result_of(values, x=(1, 2, 3), experiment_id="figX", name="a_ms"):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        x_label="k",
+        x_values=tuple(x),
+        series=(SeriesResult(name, tuple(values)),),
+    )
+
+
+class TestCompareResults:
+    def test_identical_results_no_regression(self):
+        base = result_of((10.0, 20.0, 30.0))
+        report = compare_results(base, result_of((10.0, 20.0, 30.0)))
+        assert report.regressions() == []
+        series = report.series[0]
+        assert series.relative_deltas == (0.0, 0.0, 0.0)
+
+    def test_improvement_not_a_regression(self):
+        base = result_of((10.0, 20.0, 30.0))
+        better = result_of((5.0, 10.0, 15.0))
+        report = compare_results(base, better)
+        assert report.regressions() == []
+
+    def test_regression_detected(self):
+        base = result_of((10.0, 20.0, 30.0))
+        worse = result_of((10.0, 20.0, 40.0))  # +33% at one point
+        report = compare_results(base, worse)
+        assert report.regressions(tolerance=0.15) == ["a_ms"]
+        assert not report.series[0].regressed(tolerance=0.5)
+
+    def test_alignment_on_shared_x(self):
+        base = result_of((10.0, 20.0, 30.0), x=(1, 2, 3))
+        candidate = result_of((21.0, 31.0), x=(2, 3))
+        report = compare_results(base, candidate)
+        series = report.series[0]
+        assert series.x_values == (2, 3)
+        assert series.baseline == (20.0, 30.0)
+        assert series.candidate == (21.0, 31.0)
+
+    def test_mismatched_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            compare_results(
+                result_of((1.0,), x=(1,), experiment_id="fig4"),
+                result_of((1.0,), x=(1,), experiment_id="fig5"),
+            )
+
+    def test_no_shared_x_rejected(self):
+        with pytest.raises(ReproError):
+            compare_results(
+                result_of((1.0,), x=(1,)),
+                result_of((1.0,), x=(9,)),
+            )
+
+    def test_no_shared_series_rejected(self):
+        with pytest.raises(ReproError):
+            compare_results(
+                result_of((1.0,), x=(1,), name="a"),
+                result_of((1.0,), x=(1,), name="b"),
+            )
+
+    def test_zero_baseline_handled(self):
+        base = result_of((0.0, 1.0), x=(1, 2))
+        candidate = result_of((0.0, 1.0), x=(1, 2))
+        report = compare_results(base, candidate)
+        assert report.series[0].relative_deltas[0] == 0.0
+
+    def test_render_mentions_regressions(self):
+        base = result_of((10.0,), x=(1,))
+        worse = result_of((20.0,), x=(1,))
+        text = compare_results(base, worse).render()
+        assert "REGRESSED: a_ms" in text
+
+    def test_render_clean(self):
+        base = result_of((10.0,), x=(1,))
+        text = compare_results(base, base).render()
+        assert "no regressions" in text
+
+    def test_bad_tolerance_rejected(self):
+        base = result_of((10.0,), x=(1,))
+        report = compare_results(base, base)
+        with pytest.raises(ReproError):
+            report.series[0].regressed(tolerance=-1.0)

@@ -1,0 +1,84 @@
+"""Tests for the average group interaction cost metric."""
+
+import pytest
+
+from repro.analysis import average_group_interaction_cost
+from repro.analysis.gicost import group_interaction_cost, interaction_cost
+from repro.core.groups import CacheGroup, GroupingResult
+from repro.errors import SchemeError
+
+
+def grouping(*member_tuples):
+    return GroupingResult(
+        scheme="manual",
+        groups=tuple(
+            CacheGroup(i, members) for i, members in enumerate(member_tuples)
+        ),
+    )
+
+
+class TestInteractionCost:
+    def test_rtt_plus_transfer(self, paper_network):
+        assert interaction_cost(paper_network, 1, 2) == 4.0
+        assert interaction_cost(
+            paper_network, 1, 2, avg_doc_transfer_ms=3.0
+        ) == 7.0
+
+    def test_negative_transfer_rejected(self, paper_network):
+        with pytest.raises(SchemeError):
+            interaction_cost(paper_network, 1, 2, avg_doc_transfer_ms=-1.0)
+
+
+class TestGroupInteractionCost:
+    def test_pair(self, paper_network):
+        g = CacheGroup(0, (1, 2))
+        assert group_interaction_cost(paper_network, g) == 4.0
+
+    def test_triple_average(self, paper_network):
+        g = CacheGroup(0, (1, 2, 3))
+        expected = (4.0 + 17.0 + 14.4) / 3
+        assert group_interaction_cost(paper_network, g) == pytest.approx(
+            expected
+        )
+
+    def test_singleton_zero(self, paper_network):
+        assert group_interaction_cost(paper_network, CacheGroup(0, (1,))) == 0.0
+
+
+class TestAverageGICost:
+    def test_paper_natural_grouping(self, paper_network):
+        """Natural pairs all have RTT 4 -> average GICost is 4."""
+        g = grouping((1, 2), (3, 4), (5, 6))
+        assert average_group_interaction_cost(paper_network, g) == 4.0
+
+    def test_mean_over_groups(self, paper_network):
+        g = grouping((1, 2), (3, 5))  # costs 4.0 and 17.0
+        assert average_group_interaction_cost(
+            paper_network, g
+        ) == pytest.approx(10.5)
+
+    def test_singletons_pull_average_down(self, paper_network):
+        g = grouping((1, 2), (3,), (4,))
+        assert average_group_interaction_cost(
+            paper_network, g
+        ) == pytest.approx(4.0 / 3)
+
+    def test_skip_singletons(self, paper_network):
+        g = grouping((1, 2), (3,), (4,))
+        assert average_group_interaction_cost(
+            paper_network, g, skip_singletons=True
+        ) == pytest.approx(4.0)
+
+    def test_all_singletons_skip(self, paper_network):
+        g = grouping((1,), (2,))
+        assert average_group_interaction_cost(
+            paper_network, g, skip_singletons=True
+        ) == 0.0
+
+    def test_transfer_shifts_cost(self, paper_network):
+        g = grouping((1, 2))
+        base = average_group_interaction_cost(paper_network, g)
+        shifted = average_group_interaction_cost(
+            paper_network, g, avg_doc_transfer_ms=5.0
+        )
+        assert shifted == base + 5.0

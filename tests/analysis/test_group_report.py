@@ -1,0 +1,57 @@
+"""Tests for the per-group simulation breakdown."""
+
+import pytest
+
+from repro.analysis import group_report_table, summarize_groups
+from repro.config import LandmarkConfig
+from repro.core.schemes import SLScheme
+from repro.simulator import simulate
+
+
+@pytest.fixture(scope="module")
+def sim_result(small_network, small_workload):
+    grouping = SLScheme(
+        landmark_config=LandmarkConfig(num_landmarks=5)
+    ).form_groups(small_network, 4, seed=2)
+    return simulate(small_network, grouping, small_workload)
+
+
+class TestSummarizeGroups:
+    def test_one_summary_per_group(self, sim_result):
+        summaries = summarize_groups(sim_result)
+        assert len(summaries) == sim_result.grouping.num_groups
+
+    def test_shares_sum_to_one(self, sim_result):
+        for s in summarize_groups(sim_result):
+            total = s.local_hit_share + s.group_hit_share + s.origin_share
+            assert total == pytest.approx(1.0)
+
+    def test_requests_match_metrics(self, sim_result):
+        summaries = summarize_groups(sim_result)
+        assert sum(s.requests for s in summaries) == (
+            sim_result.metrics.total_requests()
+        )
+
+    def test_sizes_match_grouping(self, sim_result):
+        by_id = {g.group_id: g for g in sim_result.grouping.groups}
+        for s in summarize_groups(sim_result):
+            assert s.size == by_id[s.group_id].size
+
+    def test_gicost_zero_for_singletons(self, sim_result):
+        for s in summarize_groups(sim_result):
+            if s.size == 1:
+                assert s.gicost_ms == 0.0
+            else:
+                assert s.gicost_ms > 0.0
+
+    def test_latency_positive(self, sim_result):
+        for s in summarize_groups(sim_result):
+            assert s.mean_latency_ms > 0
+
+
+class TestGroupReportTable:
+    def test_table_shape(self, sim_result):
+        table = group_report_table(sim_result)
+        assert table.row_count == sim_result.grouping.num_groups
+        assert "gicost_ms" in table.columns
+        assert "server_dist_ms" in table.columns

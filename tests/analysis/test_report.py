@@ -1,0 +1,69 @@
+"""Tests for experiment result containers."""
+
+import pytest
+
+from repro.analysis import ExperimentResult, SeriesResult
+from repro.errors import ReproError
+
+
+def result_of():
+    return ExperimentResult(
+        experiment_id="figX",
+        x_label="k",
+        x_values=(1, 2, 3),
+        series=(
+            SeriesResult("a_ms", (5.0, 3.0, 4.0)),
+            SeriesResult("b_ms", (6.0, 7.0, 8.0)),
+        ),
+        notes={"gain": 12.34},
+    )
+
+
+class TestSeriesResult:
+    def test_min_index(self):
+        s = SeriesResult("s", (5.0, 1.0, 9.0))
+        assert s.min_index() == 1
+        assert len(s) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            SeriesResult("s", ())
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(ReproError):
+            SeriesResult("", (1.0,))
+
+
+class TestExperimentResult:
+    def test_series_named(self):
+        r = result_of()
+        assert r.series_named("a_ms").values == (5.0, 3.0, 4.0)
+
+    def test_unknown_series(self):
+        with pytest.raises(ReproError):
+            result_of().series_named("zzz")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentResult(
+                experiment_id="x",
+                x_label="k",
+                x_values=(1, 2),
+                series=(SeriesResult("a", (1.0,)),),
+            )
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentResult(
+                experiment_id="x", x_label="k", x_values=(1,), series=()
+            )
+
+    def test_table_rendering(self):
+        table = result_of().to_table()
+        assert table.columns == ["k", "a_ms", "b_ms"]
+        assert table.row_count == 3
+
+    def test_render_contains_notes(self):
+        text = result_of().render()
+        assert "== figX ==" in text
+        assert "gain: 12.34" in text

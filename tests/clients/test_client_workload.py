@@ -1,0 +1,118 @@
+"""Tests for client-level workload generation and perceived latency."""
+
+import numpy as np
+import pytest
+
+from repro.clients import (
+    assign_clients,
+    client_perceived_latency,
+    generate_client_workload,
+    place_clients,
+)
+from repro.config import DocumentConfig, LandmarkConfig, WorkloadConfig
+from repro.core.schemes import SLScheme
+from repro.errors import WorkloadError
+from repro.simulator import simulate
+
+
+@pytest.fixture
+def setup(small_network):
+    population = place_clients(small_network, num_clients=30, seed=21)
+    assignment = assign_clients(population, policy="nearest")
+    config = WorkloadConfig(
+        documents=DocumentConfig(num_documents=60),
+    )
+    cw = generate_client_workload(
+        population, assignment, config, requests_per_client=15, seed=21
+    )
+    return population, assignment, cw
+
+
+class TestGenerateClientWorkload:
+    def test_request_volume(self, setup):
+        _population, _assignment, cw = setup
+        assert cw.workload.num_requests == 30 * 15
+
+    def test_requests_routed_per_assignment(self, setup):
+        population, assignment, cw = setup
+        targeted = {r.cache_node for r in cw.workload.requests}
+        assert targeted == set(int(a) for a in assignment)
+
+    def test_access_rtt_matches_population(self, setup):
+        population, assignment, cw = setup
+        # Every cache's recorded access RTTs come from its clients.
+        for cache, stats in cw.access_rtt.items():
+            client_rtts = [
+                population.rtt_to_cache(c, cache)
+                for c in range(population.num_clients)
+                if int(assignment[c]) == cache
+            ]
+            assert min(client_rtts) - 1e-9 <= stats.mean <= max(client_rtts) + 1e-9
+
+    def test_time_sorted(self, setup):
+        _population, _assignment, cw = setup
+        times = [r.timestamp_ms for r in cw.workload.requests]
+        assert times == sorted(times)
+
+    def test_reproducible(self, small_network):
+        population = place_clients(small_network, num_clients=10, seed=22)
+        assignment = assign_clients(population, policy="nearest")
+        a = generate_client_workload(
+            population, assignment, requests_per_client=5, seed=3
+        )
+        b = generate_client_workload(
+            population, assignment, requests_per_client=5, seed=3
+        )
+        assert a.workload.requests == b.workload.requests
+
+    def test_bad_requests_per_client(self, setup):
+        population, assignment, _cw = setup
+        with pytest.raises(WorkloadError):
+            generate_client_workload(
+                population, assignment, requests_per_client=0
+            )
+
+    def test_assignment_shape_checked(self, setup):
+        population, _assignment, _cw = setup
+        with pytest.raises(WorkloadError):
+            generate_client_workload(
+                population, np.array([1, 2]), requests_per_client=5
+            )
+
+    def test_mean_access_rtt_unknown_cache(self, setup):
+        _population, _assignment, cw = setup
+        with pytest.raises(WorkloadError):
+            cw.mean_access_rtt(9999)
+
+
+class TestClientPerceivedLatency:
+    def test_perceived_exceeds_edge_latency(self, small_network, setup):
+        _population, _assignment, cw = setup
+        grouping = SLScheme(
+            landmark_config=LandmarkConfig(num_landmarks=5)
+        ).form_groups(small_network, 5, seed=1)
+        result = simulate(small_network, grouping, cw.workload)
+        perceived = client_perceived_latency(result, cw)
+        edge_only = result.average_latency_ms(
+            sorted(cw.access_rtt)
+        )
+        assert perceived > edge_only
+
+    def test_nearest_redirection_beats_random(self, small_network):
+        """End-to-end: better redirection lowers perceived latency."""
+        from repro.core.groups import singleton_groups
+
+        population = place_clients(small_network, num_clients=40, seed=23)
+        perceived = {}
+        for policy in ("nearest", "random"):
+            assignment = assign_clients(population, policy=policy, seed=5)
+            cw = generate_client_workload(
+                population, assignment, requests_per_client=15, seed=5
+            )
+            result = simulate(
+                small_network,
+                singleton_groups(small_network.cache_nodes),
+                cw.workload,
+            )
+            perceived[policy] = client_perceived_latency(result, cw)
+        assert perceived["nearest"] < perceived["random"]

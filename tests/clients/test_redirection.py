@@ -1,0 +1,66 @@
+"""Tests for client redirection policies."""
+
+import numpy as np
+import pytest
+
+from repro.clients import assign_clients, place_clients
+from repro.clients.redirection import mean_access_rtt
+from repro.errors import PlacementError
+
+
+@pytest.fixture
+def population(small_network):
+    return place_clients(small_network, num_clients=40, seed=11)
+
+
+class TestAssignClients:
+    def test_nearest_is_optimal(self, population):
+        assignment = assign_clients(population, policy="nearest")
+        for client in range(population.num_clients):
+            assert assignment[client] == population.nearest_cache(client)
+
+    def test_nearest_k_within_candidates(self, population):
+        assignment = assign_clients(
+            population, policy="nearest-k", k=3, seed=1
+        )
+        for client in range(population.num_clients):
+            candidates = population.nearest_caches(client, 3)
+            assert assignment[client] in candidates
+
+    def test_random_targets_caches(self, population):
+        assignment = assign_clients(population, policy="random", seed=2)
+        assert (assignment >= 1).all()
+        assert (assignment <= population.num_nodes - 1).all()
+
+    def test_policy_quality_ordering(self, population):
+        """nearest <= nearest-k <= random in mean access RTT."""
+        nearest = mean_access_rtt(
+            population, assign_clients(population, "nearest")
+        )
+        spread = mean_access_rtt(
+            population, assign_clients(population, "nearest-k", k=3, seed=3)
+        )
+        random_ = mean_access_rtt(
+            population, assign_clients(population, "random", seed=3)
+        )
+        assert nearest <= spread + 1e-9
+        assert spread < random_
+
+    def test_unknown_policy_rejected(self, population):
+        with pytest.raises(PlacementError):
+            assign_clients(population, policy="geoip")
+
+    def test_bad_k_rejected(self, population):
+        with pytest.raises(PlacementError):
+            assign_clients(population, policy="nearest-k", k=0)
+
+    def test_reproducible(self, population):
+        a = assign_clients(population, "nearest-k", k=4, seed=5)
+        b = assign_clients(population, "nearest-k", k=4, seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestMeanAccessRtt:
+    def test_shape_checked(self, population):
+        with pytest.raises(PlacementError):
+            mean_access_rtt(population, np.array([1, 2]))

@@ -1,0 +1,145 @@
+"""Tests for K-means center initializers, especially SDSL's biased init."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.clustering import (
+    KMeansPlusPlusInit,
+    ServerDistanceBiasedInit,
+    UniformRandomInit,
+)
+from repro.errors import ClusteringError
+
+
+@pytest.fixture
+def points():
+    return np.arange(20, dtype=float).reshape(10, 2)
+
+
+class TestUniformRandomInit:
+    def test_distinct_indices(self, points, rng):
+        idx = UniformRandomInit().choose(points, 4, rng)
+        assert len(set(idx.tolist())) == 4
+
+    def test_k_bounds(self, points, rng):
+        with pytest.raises(ClusteringError):
+            UniformRandomInit().choose(points, 0, rng)
+        with pytest.raises(ClusteringError):
+            UniformRandomInit().choose(points, 11, rng)
+
+    def test_all_points_when_k_equals_n(self, points, rng):
+        idx = UniformRandomInit().choose(points, 10, rng)
+        assert sorted(idx.tolist()) == list(range(10))
+
+    def test_uniform_frequencies(self, points):
+        rng = np.random.default_rng(0)
+        counts = np.zeros(10)
+        trials = 4000
+        for _ in range(trials):
+            idx = UniformRandomInit().choose(points, 1, rng)
+            counts[idx[0]] += 1
+        # Chi-square goodness of fit against uniform.
+        _stat, p = stats.chisquare(counts)
+        assert p > 0.001
+
+
+class TestServerDistanceBiasedInit:
+    def test_probabilities_proportional_to_inverse_distance(self):
+        distances = np.array([1.0, 2.0, 4.0])
+        init = ServerDistanceBiasedInit(distances, theta=1.0)
+        probs = init.selection_probabilities()
+        # weights 1, 0.5, 0.25 -> normalised 4/7, 2/7, 1/7
+        assert probs == pytest.approx([4 / 7, 2 / 7, 1 / 7])
+
+    def test_theta_zero_is_uniform(self):
+        distances = np.array([1.0, 5.0, 100.0])
+        init = ServerDistanceBiasedInit(distances, theta=0.0)
+        assert init.selection_probabilities() == pytest.approx([1 / 3] * 3)
+
+    def test_theta_two_squares_weights(self):
+        distances = np.array([1.0, 2.0])
+        init = ServerDistanceBiasedInit(distances, theta=2.0)
+        probs = init.selection_probabilities()
+        assert probs == pytest.approx([4 / 5, 1 / 5])
+
+    def test_zero_distance_clamped(self):
+        """A co-located cache ties with the nearest positive distance."""
+        distances = np.array([0.0, 2.0, 4.0])
+        init = ServerDistanceBiasedInit(distances, theta=1.0)
+        probs = init.selection_probabilities()
+        assert np.isfinite(probs).all()
+        assert probs[0] == pytest.approx(probs[1])
+        assert probs[0] > probs[2]
+
+    def test_empirical_frequencies_match(self):
+        """Chi-square: the sampler obeys the declared probabilities."""
+        distances = np.array([1.0, 2.0, 4.0, 8.0])
+        points = np.zeros((4, 2))
+        init = ServerDistanceBiasedInit(distances, theta=1.0)
+        expected = init.selection_probabilities()
+        rng = np.random.default_rng(1)
+        counts = np.zeros(4)
+        trials = 6000
+        for _ in range(trials):
+            counts[init.choose(points, 1, rng)[0]] += 1
+        _stat, p = stats.chisquare(counts, expected * trials)
+        assert p > 0.001
+
+    def test_nearer_points_picked_more_often_with_k(self):
+        distances = np.linspace(1.0, 100.0, 30)
+        points = np.zeros((30, 2))
+        init = ServerDistanceBiasedInit(distances, theta=2.0)
+        rng = np.random.default_rng(2)
+        near_count = 0
+        trials = 400
+        for _ in range(trials):
+            idx = init.choose(points, 5, rng)
+            near_count += int((idx < 10).sum())
+        # Near third should dominate the 5 picks.
+        assert near_count / (trials * 5) > 0.6
+
+    def test_size_mismatch_rejected(self):
+        init = ServerDistanceBiasedInit(np.array([1.0, 2.0]), theta=1.0)
+        with pytest.raises(ClusteringError):
+            init.choose(np.zeros((3, 2)), 1, np.random.default_rng(0))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ClusteringError):
+            ServerDistanceBiasedInit(np.array([-1.0]), theta=1.0)
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ClusteringError):
+            ServerDistanceBiasedInit(np.array([1.0]), theta=-0.5)
+
+    def test_distinct_indices(self):
+        distances = np.ones(10)
+        init = ServerDistanceBiasedInit(distances, theta=1.0)
+        idx = init.choose(np.zeros((10, 2)), 6, np.random.default_rng(0))
+        assert len(set(idx.tolist())) == 6
+
+
+class TestKMeansPlusPlusInit:
+    def test_distinct_indices(self, rng):
+        points = np.random.default_rng(0).random((20, 3))
+        idx = KMeansPlusPlusInit().choose(points, 5, rng)
+        assert len(set(idx.tolist())) == 5
+
+    def test_spreads_over_clusters(self):
+        """With two far blobs, k=2 seeds land one in each blob."""
+        blob_a = np.zeros((10, 2))
+        blob_b = np.full((10, 2), 100.0)
+        points = np.vstack([blob_a, blob_b])
+        hits = 0
+        for seed in range(50):
+            idx = KMeansPlusPlusInit().choose(
+                points, 2, np.random.default_rng(seed)
+            )
+            sides = {int(i) // 10 for i in idx}
+            hits += len(sides) == 2
+        assert hits >= 48
+
+    def test_identical_points_handled(self, rng):
+        points = np.zeros((5, 2))
+        idx = KMeansPlusPlusInit().choose(points, 3, rng)
+        assert len(set(idx.tolist())) == 3

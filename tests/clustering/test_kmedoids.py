@@ -1,0 +1,63 @@
+"""Tests for the k-medoids extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMedoids
+from repro.errors import ClusteringError
+
+
+def block_dissimilarity():
+    """Two tight blocks of 3 points each, far apart."""
+    n = 6
+    d = np.full((n, n), 100.0)
+    np.fill_diagonal(d, 0.0)
+    for block in (range(3), range(3, 6)):
+        for i in block:
+            for j in block:
+                if i != j:
+                    d[i, j] = 1.0
+    return d
+
+
+class TestKMedoids:
+    def test_recovers_blocks(self):
+        d = block_dissimilarity()
+        result = KMedoids(k=2).fit(d, seed=0)
+        assert sorted(result.cluster_sizes().tolist()) == [3, 3]
+        assert len(set(result.labels[:3].tolist())) == 1
+        assert len(set(result.labels[3:].tolist())) == 1
+
+    def test_works_from_any_seed(self):
+        d = block_dissimilarity()
+        for seed in range(10):
+            result = KMedoids(k=2).fit(d, seed=seed)
+            assert sorted(result.cluster_sizes().tolist()) == [3, 3]
+
+    def test_cost_recorded(self):
+        d = block_dissimilarity()
+        result = KMedoids(k=2).fit(d, seed=0)
+        # Perfect clustering: each non-medoid point at distance 1.
+        assert result.sse == pytest.approx(4.0)
+
+    def test_k_one(self):
+        d = block_dissimilarity()
+        result = KMedoids(k=1).fit(d, seed=0)
+        assert result.cluster_sizes().tolist() == [6]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ClusteringError):
+            KMedoids(k=1).fit(np.zeros((2, 3)), seed=0)
+
+    def test_negative_dissimilarity_rejected(self):
+        d = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ClusteringError):
+            KMedoids(k=1).fit(d, seed=0)
+
+    def test_k_exceeds_n_rejected(self):
+        with pytest.raises(ClusteringError):
+            KMedoids(k=5).fit(np.zeros((2, 2)), seed=0)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ClusteringError):
+            KMedoids(k=0)

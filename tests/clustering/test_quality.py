@@ -1,0 +1,94 @@
+"""Tests for cluster-quality measures."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    Clustering,
+    mean_intra_cluster_distance,
+    silhouette_score,
+    within_cluster_sse,
+)
+from repro.errors import ClusteringError
+
+
+def clustering_of(labels, k):
+    labels = np.asarray(labels)
+    return Clustering(labels=labels, k=k, centers=np.zeros((k, 1)))
+
+
+class TestWithinClusterSSE:
+    def test_zero_for_coincident_points(self):
+        points = np.ones((4, 2))
+        c = clustering_of([0, 0, 1, 1], k=2)
+        assert within_cluster_sse(points, c) == 0.0
+
+    def test_hand_computed(self):
+        points = np.array([[0.0], [2.0], [10.0]])
+        c = clustering_of([0, 0, 1], k=2)
+        # Cluster 0 mean = 1.0 -> SSE = 1 + 1 = 2; cluster 1 singleton.
+        assert within_cluster_sse(points, c) == pytest.approx(2.0)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ClusteringError):
+            within_cluster_sse(np.zeros((3, 1)), clustering_of([0, 0], k=1))
+
+
+class TestMeanIntraClusterDistance:
+    def test_paper_definition(self):
+        """Average within each group over pairs, then across groups."""
+        d = np.array(
+            [
+                [0.0, 2.0, 8.0, 8.0],
+                [2.0, 0.0, 8.0, 8.0],
+                [8.0, 8.0, 0.0, 4.0],
+                [8.0, 8.0, 4.0, 0.0],
+            ]
+        )
+        c = clustering_of([0, 0, 1, 1], k=2)
+        # Group 0 GICost = 2, group 1 GICost = 4 -> mean 3.
+        assert mean_intra_cluster_distance(d, c) == pytest.approx(3.0)
+
+    def test_singletons_count_as_zero(self):
+        d = np.array([[0.0, 6.0], [6.0, 0.0]])
+        c = clustering_of([0, 1], k=2)
+        assert mean_intra_cluster_distance(d, c) == 0.0
+
+    def test_three_member_group(self):
+        d = np.array(
+            [[0.0, 1.0, 2.0], [1.0, 0.0, 3.0], [2.0, 3.0, 0.0]]
+        )
+        c = clustering_of([0, 0, 0], k=1)
+        assert mean_intra_cluster_distance(d, c) == pytest.approx(2.0)
+
+
+class TestSilhouette:
+    def test_perfect_separation_near_one(self):
+        d = np.full((4, 4), 100.0)
+        np.fill_diagonal(d, 0.0)
+        d[0, 1] = d[1, 0] = 1.0
+        d[2, 3] = d[3, 2] = 1.0
+        c = clustering_of([0, 0, 1, 1], k=2)
+        assert silhouette_score(d, c) > 0.9
+
+    def test_bad_clustering_negative(self):
+        d = np.full((4, 4), 100.0)
+        np.fill_diagonal(d, 0.0)
+        d[0, 1] = d[1, 0] = 1.0
+        d[2, 3] = d[3, 2] = 1.0
+        # Split the natural pairs across clusters.
+        c = clustering_of([0, 1, 0, 1], k=2)
+        assert silhouette_score(d, c) < 0.0
+
+    def test_single_cluster_rejected(self):
+        d = np.zeros((3, 3))
+        with pytest.raises(ClusteringError):
+            silhouette_score(d, clustering_of([0, 0, 0], k=1))
+
+    def test_singletons_score_zero(self):
+        d = np.array(
+            [[0.0, 5.0, 5.0], [5.0, 0.0, 1.0], [5.0, 1.0, 0.0]]
+        )
+        c = clustering_of([0, 1, 1], k=2)
+        score = silhouette_score(d, c)
+        assert np.isfinite(score)

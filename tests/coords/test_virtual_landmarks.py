@@ -1,0 +1,73 @@
+"""Tests for the virtual-landmarks (Lipschitz + PCA) embedding."""
+
+import numpy as np
+import pytest
+
+from repro.coords import virtual_landmark_embedding
+from repro.errors import EmbeddingError
+from repro.landmarks import LandmarkSet, build_feature_vectors
+
+
+@pytest.fixture
+def paper_features(exact_prober):
+    landmarks = LandmarkSet(nodes=(0, 1, 5))
+    return build_feature_vectors(exact_prober, landmarks)
+
+
+class TestVirtualLandmarks:
+    def test_explicit_dimensions(self, paper_features):
+        coords = virtual_landmark_embedding(paper_features, dimensions=2)
+        assert coords.shape == (6, 2)
+
+    def test_auto_dimensions_at_least_two(self, paper_features):
+        coords = virtual_landmark_embedding(paper_features)
+        assert coords.shape[0] == 6
+        assert coords.shape[1] >= 2
+
+    def test_preserves_cluster_structure(self, paper_features):
+        """The paper's natural pairs stay mutually nearest after PCA."""
+        coords = virtual_landmark_embedding(paper_features, dimensions=2)
+        # nodes order: (1, 2, 3, 4, 5, 6); pairs (0,1), (2,3), (4,5).
+        for a, b in ((0, 1), (2, 3), (4, 5)):
+            pair_dist = np.linalg.norm(coords[a] - coords[b])
+            others = [
+                np.linalg.norm(coords[a] - coords[c])
+                for c in range(6)
+                if c not in (a, b)
+            ]
+            assert pair_dist < min(others)
+
+    def test_pca_projection_distances_bounded_by_original(
+        self, paper_features
+    ):
+        """Projection is a contraction: distances never grow."""
+        full = paper_features.matrix
+        coords = virtual_landmark_embedding(paper_features, dimensions=2)
+        for i in range(6):
+            for j in range(6):
+                original = np.linalg.norm(full[i] - full[j])
+                projected = np.linalg.norm(coords[i] - coords[j])
+                assert projected <= original + 1e-9
+
+    def test_full_rank_preserves_distances(self, paper_features):
+        coords = virtual_landmark_embedding(
+            paper_features, dimensions=3, center=True
+        )
+        full = paper_features.matrix
+        for i in range(6):
+            for j in range(6):
+                assert np.linalg.norm(coords[i] - coords[j]) == pytest.approx(
+                    np.linalg.norm(full[i] - full[j]), abs=1e-8
+                )
+
+    def test_bad_dimensions_rejected(self, paper_features):
+        with pytest.raises(EmbeddingError):
+            virtual_landmark_embedding(paper_features, dimensions=0)
+        with pytest.raises(EmbeddingError):
+            virtual_landmark_embedding(paper_features, dimensions=10)
+
+    def test_single_node_rejected(self, exact_prober):
+        landmarks = LandmarkSet(nodes=(0, 1, 5))
+        features = build_feature_vectors(exact_prober, landmarks, nodes=[2])
+        with pytest.raises(EmbeddingError):
+            virtual_landmark_embedding(features)

@@ -1,0 +1,54 @@
+"""Tests for the adaptive-theta SDSL mode."""
+
+import pytest
+
+from repro.config import SDSLConfig
+from repro.core import SDSLScheme
+from repro.errors import ConfigurationError
+
+
+class TestEffectiveTheta:
+    def test_fixed_mode_ignores_k(self):
+        config = SDSLConfig(theta=1.5, adaptive=False)
+        assert config.effective_theta(5, 100) == 1.5
+        assert config.effective_theta(50, 100) == 1.5
+
+    def test_adaptive_scales_with_density(self):
+        config = SDSLConfig(adaptive=True)
+        # 20 * K / N, clamped to [0.5, 2.5].
+        assert config.effective_theta(10, 500) == pytest.approx(0.5)
+        assert config.effective_theta(50, 500) == pytest.approx(2.0)
+        assert config.effective_theta(25, 500) == pytest.approx(1.0)
+
+    def test_clamping(self):
+        config = SDSLConfig(adaptive=True)
+        assert config.effective_theta(1, 1000) == 0.5   # lower clamp
+        assert config.effective_theta(500, 500) == 2.5  # upper clamp
+
+    def test_bad_args_rejected(self):
+        config = SDSLConfig(adaptive=True)
+        with pytest.raises(ConfigurationError):
+            config.effective_theta(0, 100)
+        with pytest.raises(ConfigurationError):
+            config.effective_theta(5, 0)
+
+
+class TestAdaptiveScheme:
+    def test_forms_valid_groups(self, small_network):
+        scheme = SDSLScheme(sdsl_config=SDSLConfig(adaptive=True))
+        result = scheme.form_groups(small_network, k=5, seed=1)
+        assert sorted(result.all_members) == small_network.cache_nodes
+
+    def test_adaptive_differs_from_fixed_at_low_density(self, small_network):
+        """At K/N = 2/30 the adaptive theta (~1.33) differs from the
+        fixed default (2.0), so the groupings generally diverge."""
+        adaptive = SDSLScheme(
+            sdsl_config=SDSLConfig(adaptive=True)
+        ).form_groups(small_network, k=2, seed=3)
+        fixed = SDSLScheme(
+            sdsl_config=SDSLConfig(theta=2.0)
+        ).form_groups(small_network, k=2, seed=3)
+        # Both are valid partitions; equality is possible but the
+        # effective thetas must differ.
+        assert SDSLConfig(adaptive=True).effective_theta(2, 30) != 2.0
+        assert sorted(adaptive.all_members) == sorted(fixed.all_members)

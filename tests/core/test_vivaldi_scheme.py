@@ -1,0 +1,69 @@
+"""Tests for the decentralised Vivaldi grouping scheme (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import average_group_interaction_cost
+from repro.core import VivaldiScheme, scheme_by_name
+from repro.core.groups import GroupingResult, groups_from_labels
+from repro.errors import SchemeError
+
+
+class TestVivaldiScheme:
+    def test_partitions_all_caches(self, small_network):
+        result = VivaldiScheme(rounds=10).form_groups(
+            small_network, k=5, seed=1
+        )
+        assert sorted(result.all_members) == small_network.cache_nodes
+        assert result.scheme == "vivaldi"
+
+    def test_no_landmark_probing_bias(self, small_network):
+        """The scheme runs without any landmark selection step: its
+        provenance landmark set is the synthetic origin-only pair."""
+        result = VivaldiScheme(rounds=10).form_groups(
+            small_network, k=4, seed=2
+        )
+        assert result.landmarks is not None
+        assert result.landmarks.nodes[0] == small_network.origin
+
+    def test_better_than_random_partition(self, small_network):
+        costs = []
+        for seed in range(3):
+            grouping = VivaldiScheme(rounds=20).form_groups(
+                small_network, k=5, seed=seed
+            )
+            costs.append(
+                average_group_interaction_cost(small_network, grouping)
+            )
+        rng = np.random.default_rng(0)
+        random_costs = []
+        for _ in range(10):
+            labels = rng.integers(5, size=30)
+            random_costs.append(
+                average_group_interaction_cost(
+                    small_network,
+                    GroupingResult(
+                        scheme="rand",
+                        groups=groups_from_labels(
+                            small_network.cache_nodes, labels
+                        ),
+                    ),
+                )
+            )
+        assert np.mean(costs) < np.mean(random_costs)
+
+    def test_reproducible(self, small_network):
+        a = VivaldiScheme(rounds=8).form_groups(small_network, 4, seed=7)
+        b = VivaldiScheme(rounds=8).form_groups(small_network, 4, seed=7)
+        assert a.membership() == b.membership()
+
+    def test_registered_by_name(self):
+        assert scheme_by_name("vivaldi").name == "vivaldi"
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(SchemeError):
+            VivaldiScheme(dimensions=0)
+        with pytest.raises(SchemeError):
+            VivaldiScheme(rounds=0)
+        with pytest.raises(SchemeError):
+            VivaldiScheme(neighbors_per_round=0)

@@ -1,0 +1,64 @@
+"""Tests for shared experiment plumbing."""
+
+import pytest
+
+from repro.experiments.base import (
+    build_testbed,
+    default_workload_config,
+    landmark_config,
+    run_simulation,
+)
+from repro.core.groups import singleton_groups
+
+
+class TestLandmarkConfig:
+    def test_defaults(self):
+        cfg = landmark_config()
+        assert cfg.num_landmarks == 25
+        assert cfg.multiplier == 2
+
+    def test_clamped_to_caches(self):
+        cfg = landmark_config(25, num_caches=10)
+        assert cfg.num_landmarks == 11
+
+    def test_not_clamped_when_enough(self):
+        cfg = landmark_config(10, num_caches=100)
+        assert cfg.num_landmarks == 10
+
+
+class TestBuildTestbed:
+    def test_structure(self):
+        tb = build_testbed(
+            num_caches=8, seed=1, requests_per_cache=10, num_documents=30
+        )
+        assert tb.num_caches == 8
+        assert tb.workload.num_requests == 80
+        assert len(tb.workload.catalog) == 30
+
+    def test_reproducible(self):
+        a = build_testbed(num_caches=6, seed=2, requests_per_cache=5)
+        b = build_testbed(num_caches=6, seed=2, requests_per_cache=5)
+        assert a.workload.requests == b.workload.requests
+        import numpy as np
+
+        assert np.array_equal(
+            a.network.distances.as_array(), b.network.distances.as_array()
+        )
+
+    def test_simulation_runs(self):
+        tb = build_testbed(
+            num_caches=6, seed=3, requests_per_cache=10, num_documents=30
+        )
+        result = run_simulation(
+            tb, singleton_groups(tb.network.cache_nodes)
+        )
+        assert result.average_latency_ms() > 0
+
+
+class TestDefaultWorkloadConfig:
+    def test_validates(self):
+        default_workload_config().validate()
+
+    def test_paper_similarity_assumption(self):
+        """Shared interest is high, per the paper's similarity assumption."""
+        assert default_workload_config().shared_interest >= 0.5

@@ -1,0 +1,30 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import REGISTRY, run_experiment
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(REGISTRY) == {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        }
+
+    def test_runners_callable(self):
+        for runner in REGISTRY.values():
+            assert callable(runner)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            run_experiment("fig99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment(
+            "fig4",
+            network_sizes=(10,),
+            num_landmarks=4,
+            repetitions=1,
+        )
+        assert result.experiment_id == "fig4"

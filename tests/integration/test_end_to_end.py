@@ -1,0 +1,166 @@
+"""End-to-end integration tests across all subsystems.
+
+These run the full pipeline the paper describes — topology, probing,
+landmark selection, feature vectors, clustering, simulation, metrics —
+and assert the headline relationships at small scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SDSLConfig,
+    SDSLScheme,
+    SLScheme,
+    LandmarkConfig,
+    average_group_interaction_cost,
+    build_network,
+    generate_workload,
+    simulate,
+)
+from repro.config import DocumentConfig, WorkloadConfig
+from repro.core import MinDistLandmarksScheme, RandomLandmarksScheme
+from repro.core.groups import single_group, singleton_groups
+
+LM = LandmarkConfig(num_landmarks=8, multiplier=3)
+
+
+@pytest.fixture(scope="module")
+def testbeds():
+    """Three independent (network, workload) pairs at 40 caches."""
+    beds = []
+    for seed in (21, 22, 23):
+        network = build_network(num_caches=40, seed=seed)
+        workload = generate_workload(
+            network.cache_nodes,
+            WorkloadConfig(
+                documents=DocumentConfig(num_documents=150),
+                requests_per_cache=80,
+            ),
+            seed=seed,
+        )
+        beds.append((network, workload))
+    return beds
+
+
+class TestHeadlineResults:
+    def test_sl_beats_mindist_on_gicost(self, testbeds):
+        """Figure 4/5 shape: SL clustering accuracy beats min-dist."""
+        sl_costs, mindist_costs = [], []
+        for i, (network, _workload) in enumerate(testbeds):
+            for seed in range(3):
+                sl = SLScheme(landmark_config=LM).form_groups(
+                    network, 6, seed=seed
+                )
+                sl_costs.append(average_group_interaction_cost(network, sl))
+                md = MinDistLandmarksScheme(landmark_config=LM).form_groups(
+                    network, 6, seed=seed
+                )
+                mindist_costs.append(
+                    average_group_interaction_cost(network, md)
+                )
+        assert np.mean(sl_costs) < np.mean(mindist_costs)
+
+    def test_sl_at_least_matches_random_on_gicost(self, testbeds):
+        sl_costs, random_costs = [], []
+        for network, _workload in testbeds:
+            for seed in range(3):
+                sl = SLScheme(landmark_config=LM).form_groups(
+                    network, 6, seed=seed
+                )
+                sl_costs.append(average_group_interaction_cost(network, sl))
+                rl = RandomLandmarksScheme(landmark_config=LM).form_groups(
+                    network, 6, seed=seed
+                )
+                random_costs.append(
+                    average_group_interaction_cost(network, rl)
+                )
+        assert np.mean(sl_costs) <= np.mean(random_costs) * 1.05
+
+    def test_cooperation_beats_isolation_for_far_caches(self, testbeds):
+        """Figure 3's left side: groups help the caches far from Os."""
+        network, workload = testbeds[0]
+        solo = simulate(
+            network, singleton_groups(network.cache_nodes), workload
+        )
+        grouped_result = SLScheme(landmark_config=LM).form_groups(
+            network, 6, seed=1
+        )
+        grouped = simulate(network, grouped_result, workload)
+        assert (
+            grouped.latency_farthest_origin(8)
+            < solo.latency_farthest_origin(8)
+        )
+
+    def test_one_giant_group_worse_than_moderate(self, testbeds):
+        """Figure 3's right side: the whole network in one group loses
+        to moderate group sizes."""
+        network, workload = testbeds[0]
+        giant = simulate(
+            network, single_group(network.cache_nodes), workload
+        )
+        moderate_grouping = SLScheme(landmark_config=LM).form_groups(
+            network, 6, seed=1
+        )
+        moderate = simulate(network, moderate_grouping, workload)
+        assert moderate.average_latency_ms() < giant.average_latency_ms()
+
+    def test_sdsl_not_worse_than_sl_on_average(self, testbeds):
+        """Figure 8/9 shape: SDSL ≤ SL averaged over runs."""
+        sl_lat, sdsl_lat = [], []
+        for network, workload in testbeds:
+            for seed in range(2):
+                sl_g = SLScheme(landmark_config=LM).form_groups(
+                    network, 8, seed=seed
+                )
+                sl_lat.append(
+                    simulate(network, sl_g, workload).average_latency_ms()
+                )
+                sdsl_g = SDSLScheme(
+                    sdsl_config=SDSLConfig(theta=2.0), landmark_config=LM
+                ).form_groups(network, 8, seed=seed)
+                sdsl_lat.append(
+                    simulate(network, sdsl_g, workload).average_latency_ms()
+                )
+        assert np.mean(sdsl_lat) <= np.mean(sl_lat) * 1.02
+
+
+class TestPipelineConsistency:
+    def test_full_pipeline_deterministic(self, testbeds):
+        network, workload = testbeds[1]
+        results = []
+        for _ in range(2):
+            grouping = SDSLScheme(landmark_config=LM).form_groups(
+                network, 5, seed=77
+            )
+            result = simulate(network, grouping, workload)
+            results.append(
+                (grouping.membership(), result.average_latency_ms())
+            )
+        assert results[0] == results[1]
+
+    def test_metrics_cross_check(self, testbeds):
+        """Aggregate metrics agree with per-cache sums."""
+        network, workload = testbeds[2]
+        grouping = SLScheme(landmark_config=LM).form_groups(
+            network, 5, seed=3
+        )
+        result = simulate(network, grouping, workload)
+        metrics = result.metrics
+        total = sum(
+            metrics.cache_stats(c).requests for c in network.cache_nodes
+        )
+        assert total == metrics.total_requests()
+        counted = metrics.total_requests() + metrics.warmup_skipped
+        assert counted == workload.num_requests
+
+    def test_grouping_provenance_preserved(self, testbeds):
+        network, _workload = testbeds[0]
+        grouping = SLScheme(landmark_config=LM).form_groups(
+            network, 5, seed=4
+        )
+        assert grouping.landmarks is not None
+        assert grouping.features is not None
+        assert grouping.clustering is not None
+        assert len(grouping.landmarks) == 8
+        assert grouping.features.matrix.shape == (40, 8)

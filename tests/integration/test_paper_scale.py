@@ -1,0 +1,47 @@
+"""Paper-scale (N=500) integration checks.
+
+Skipped by default (minutes of runtime); enable with::
+
+    REPRO_PAPER_SCALE=1 pytest tests/integration/test_paper_scale.py
+
+The assertions mirror the paper-scale appendix in EXPERIMENTS.md.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+paper_scale = pytest.mark.skipif(
+    not os.environ.get("REPRO_PAPER_SCALE"),
+    reason="set REPRO_PAPER_SCALE=1 to run minutes-long 500-cache checks",
+)
+
+
+@paper_scale
+class TestPaperScale:
+    def test_fig4_mindist_gap_widens(self):
+        from repro.experiments import run_fig4
+
+        result = run_fig4(paper_scale=True, repetitions=2)
+        sl = result.series_named("sl_ms").values
+        mindist = result.series_named("mindist_ms").values
+        # At 500 caches the min-dist penalty reaches the paper's band.
+        gap_500 = (mindist[-1] - sl[-1]) / mindist[-1]
+        assert gap_500 > 0.20
+
+    def test_fig3_u_shapes_at_500(self):
+        from repro.experiments import run_fig3
+
+        result = run_fig3(paper_scale=True)
+        for name in result.series:
+            idx = name.min_index()
+            assert 0 < idx < len(name) - 1
+
+    def test_fig8_sdsl_wins_at_k20(self):
+        from repro.experiments import run_fig8
+
+        result = run_fig8(paper_scale=True, repetitions=2)
+        sl = np.mean(result.series_named("sl_k20_ms").values)
+        sdsl = np.mean(result.series_named("sdsl_k20_ms").values)
+        assert sdsl < sl

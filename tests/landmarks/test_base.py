@@ -1,0 +1,49 @@
+"""Tests for repro.landmarks.base: LandmarkSet invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LandmarkSelectionError
+from repro.landmarks.base import LandmarkSet, min_pairwise
+
+
+class TestLandmarkSet:
+    def test_valid(self):
+        lm = LandmarkSet(nodes=(0, 3, 5), min_pairwise_rtt=4.0)
+        assert len(lm) == 3
+        assert list(lm) == [0, 3, 5]
+        assert 3 in lm
+        assert 99 not in lm
+        assert lm.cache_landmarks == (3, 5)
+
+    def test_origin_must_be_first(self):
+        with pytest.raises(LandmarkSelectionError):
+            LandmarkSet(nodes=(3, 0, 5))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(LandmarkSelectionError):
+            LandmarkSet(nodes=(0, 3, 3))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(LandmarkSelectionError):
+            LandmarkSet(nodes=(0,))
+
+    def test_default_objective_nan(self):
+        lm = LandmarkSet(nodes=(0, 1))
+        assert np.isnan(lm.min_pairwise_rtt)
+
+
+class TestMinPairwise:
+    def test_ignores_diagonal(self):
+        matrix = np.array([[0.0, 5.0], [5.0, 0.0]])
+        assert min_pairwise(matrix) == 5.0
+
+    def test_finds_smallest(self):
+        matrix = np.array(
+            [[0.0, 5.0, 2.0], [5.0, 0.0, 9.0], [2.0, 9.0, 0.0]]
+        )
+        assert min_pairwise(matrix) == 2.0
+
+    def test_single_node_rejected(self):
+        with pytest.raises(LandmarkSelectionError):
+            min_pairwise(np.zeros((1, 1)))

@@ -1,0 +1,127 @@
+"""Tests for the SL greedy max–min landmark selector.
+
+Includes the exact reproduction of the paper's Figure 1 walkthrough.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import LandmarkConfig, ProbeConfig
+from repro.errors import LandmarkSelectionError
+from repro.landmarks import GreedyMaxMinSelector
+from repro.landmarks.greedy import sample_potential_landmarks
+from repro.probing import NoNoise, Prober
+from repro.types import ORIGIN_NODE_ID
+
+
+class TestPaperFigure1:
+    """The worked example: PLSet = {Ec0, Ec1, Ec3, Ec4}, L=3, M=2."""
+
+    def test_exact_walkthrough(self, exact_prober):
+        selector = GreedyMaxMinSelector()
+        config = LandmarkConfig(num_landmarks=3, multiplier=2)
+        # Paper cache ids Ec0, Ec1, Ec3, Ec4 -> node ids 1, 2, 4, 5.
+        landmarks = selector.select_from_potential(
+            exact_prober, config, [1, 2, 4, 5]
+        )
+        # "Chosen Landmarks = {Os, Ec0, Ec4}" with MinDist(LmSet) = 12.0.
+        assert landmarks.nodes == (0, 1, 5)
+        assert landmarks.min_pairwise_rtt == pytest.approx(12.0)
+
+    def test_iteration_order(self, exact_prober):
+        """Iteration 1 adds Ec0 (ties by id), iteration 2 adds Ec4."""
+        selector = GreedyMaxMinSelector()
+        two = selector.select_from_potential(
+            exact_prober, LandmarkConfig(num_landmarks=2), [1, 2, 4, 5]
+        )
+        assert two.nodes == (0, 1)
+
+
+class TestSelect:
+    def test_origin_always_included(self, paper_network, rng):
+        prober = Prober(paper_network, noise=NoNoise(), seed=0)
+        landmarks = GreedyMaxMinSelector().select(
+            prober, LandmarkConfig(num_landmarks=3), rng
+        )
+        assert landmarks.nodes[0] == ORIGIN_NODE_ID
+
+    def test_requested_count(self, paper_network, rng):
+        prober = Prober(paper_network, noise=NoNoise(), seed=0)
+        for l in (2, 3, 4):
+            landmarks = GreedyMaxMinSelector().select(
+                prober, LandmarkConfig(num_landmarks=l), rng
+            )
+            assert len(landmarks) == l
+
+    def test_too_many_landmarks_rejected(self, paper_network, rng):
+        prober = Prober(paper_network, seed=0)
+        with pytest.raises(LandmarkSelectionError):
+            GreedyMaxMinSelector().select(
+                prober, LandmarkConfig(num_landmarks=8), rng
+            )
+
+    def test_maxmin_beats_random_spread(self, small_network):
+        """Greedy yields a larger min-pairwise spread than random picks."""
+        from repro.landmarks import RandomSelector
+
+        config = LandmarkConfig(num_landmarks=6, multiplier=4)
+        greedy_spreads = []
+        random_spreads = []
+        for seed in range(5):
+            prober = Prober(small_network, noise=NoNoise(), seed=seed)
+            rng = np.random.default_rng(seed)
+            greedy = GreedyMaxMinSelector().select(prober, config, rng)
+            greedy_spreads.append(greedy.min_pairwise_rtt)
+            random_lm = RandomSelector().select(
+                prober, config, np.random.default_rng(seed + 100)
+            )
+            truth = small_network.distances.submatrix(list(random_lm.nodes))
+            masked = truth + np.diag(np.full(len(random_lm), np.inf))
+            random_spreads.append(float(masked.min()))
+        assert np.mean(greedy_spreads) > np.mean(random_spreads)
+
+    def test_probe_budget_stays_quadratic_in_plset(self, small_network):
+        """SL probes PLSet pairs, never all N^2 cache pairs."""
+        config = LandmarkConfig(num_landmarks=4, multiplier=2)
+        prober = Prober(
+            small_network, config=ProbeConfig(probe_count=1), seed=0
+        )
+        GreedyMaxMinSelector().select(
+            prober, config, np.random.default_rng(0)
+        )
+        plset_size = config.potential_set_size() + 1  # plus origin
+        max_pairs = plset_size * (plset_size - 1) // 2
+        assert prober.stats.pairs_measured <= max_pairs
+
+    def test_insufficient_plset_rejected(self, exact_prober):
+        with pytest.raises(LandmarkSelectionError):
+            GreedyMaxMinSelector().select_from_potential(
+                exact_prober, LandmarkConfig(num_landmarks=4), [1, 2]
+            )
+
+
+class TestSamplePotentialLandmarks:
+    def test_size(self, rng):
+        caches = list(range(1, 21))
+        config = LandmarkConfig(num_landmarks=4, multiplier=3)
+        plset = sample_potential_landmarks(caches, config, rng)
+        assert len(plset) == 9  # M * (L - 1)
+        assert len(set(plset)) == 9
+
+    def test_clamped_to_cache_count(self, rng):
+        caches = list(range(1, 6))
+        config = LandmarkConfig(num_landmarks=4, multiplier=10)
+        plset = sample_potential_landmarks(caches, config, rng)
+        assert len(plset) == 5
+
+    def test_members_are_caches(self, rng):
+        caches = [10, 20, 30, 40]
+        config = LandmarkConfig(num_landmarks=3, multiplier=2)
+        plset = sample_potential_landmarks(caches, config, rng)
+        assert set(plset) <= set(caches)
+
+    def test_too_few_caches_rejected(self, rng):
+        with pytest.raises(LandmarkSelectionError):
+            sample_potential_landmarks(
+                [1], LandmarkConfig(num_landmarks=5), rng
+            )

@@ -1,0 +1,86 @@
+"""Tests for grouping persistence."""
+
+import json
+import math
+
+import pytest
+
+from repro.config import LandmarkConfig
+from repro.core.groups import CacheGroup, GroupingResult
+from repro.core.schemes import SLScheme
+from repro.errors import ReproError
+from repro.landmarks.base import LandmarkSet
+from repro.persist import load_grouping, save_grouping
+
+
+def manual_grouping():
+    return GroupingResult(
+        scheme="manual",
+        groups=(CacheGroup(0, (1, 2)), CacheGroup(1, (3,))),
+        landmarks=LandmarkSet(nodes=(0, 2), min_pairwise_rtt=8.0),
+    )
+
+
+class TestGroupingRoundTrip:
+    def test_groups_preserved(self, tmp_path):
+        path = tmp_path / "g.json"
+        save_grouping(manual_grouping(), path)
+        loaded = load_grouping(path)
+        assert loaded.scheme == "manual"
+        assert loaded.membership() == {1: 0, 2: 0, 3: 1}
+
+    def test_landmarks_preserved(self, tmp_path):
+        path = tmp_path / "g.json"
+        save_grouping(manual_grouping(), path)
+        loaded = load_grouping(path)
+        assert loaded.landmarks.nodes == (0, 2)
+        assert loaded.landmarks.min_pairwise_rtt == 8.0
+
+    def test_nan_objective_roundtrips(self, tmp_path):
+        grouping = GroupingResult(
+            scheme="manual",
+            groups=(CacheGroup(0, (1,)),),
+            landmarks=LandmarkSet(nodes=(0, 1)),
+        )
+        path = tmp_path / "g.json"
+        save_grouping(grouping, path)
+        loaded = load_grouping(path)
+        assert math.isnan(loaded.landmarks.min_pairwise_rtt)
+
+    def test_no_landmarks(self, tmp_path):
+        grouping = GroupingResult(
+            scheme="manual", groups=(CacheGroup(0, (1,)),)
+        )
+        path = tmp_path / "g.json"
+        save_grouping(grouping, path)
+        assert load_grouping(path).landmarks is None
+
+    def test_scheme_output_roundtrips(self, tmp_path, small_network):
+        grouping = SLScheme(
+            landmark_config=LandmarkConfig(num_landmarks=4)
+        ).form_groups(small_network, 4, seed=1)
+        path = tmp_path / "g.json"
+        save_grouping(grouping, path)
+        loaded = load_grouping(path)
+        assert loaded.membership() == grouping.membership()
+        # Run-scoped provenance is intentionally dropped.
+        assert loaded.features is None
+        assert loaded.clustering is None
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_grouping(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format_version": 9, "groups": []}))
+        with pytest.raises(ReproError):
+            load_grouping(path)
+
+    def test_malformed_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 1, "groups": [{}]}))
+        with pytest.raises(ReproError):
+            load_grouping(path)

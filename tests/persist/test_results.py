@@ -1,0 +1,57 @@
+"""Tests for experiment-result persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.errors import ReproError
+from repro.persist import load_result, save_result
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="fig4",
+        x_label="num_caches",
+        x_values=(60, 100),
+        series=(
+            SeriesResult("sl_ms", (5.5, 4.25)),
+            SeriesResult("random_ms", (6.0, 5.0)),
+        ),
+        notes={"gain": 8.5},
+    )
+
+
+class TestResultRoundTrip:
+    def test_full_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(make_result(), path)
+        loaded = load_result(path)
+        assert loaded.experiment_id == "fig4"
+        assert loaded.x_values == (60, 100)
+        assert loaded.series_named("sl_ms").values == (5.5, 4.25)
+        assert loaded.notes == {"gain": 8.5}
+
+    def test_render_equivalent(self, tmp_path):
+        path = tmp_path / "r.json"
+        original = make_result()
+        save_result(original, path)
+        assert load_result(path).render() == original.render()
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("][")
+        with pytest.raises(ReproError):
+            load_result(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format_version": 3}))
+        with pytest.raises(ReproError):
+            load_result(path)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 1}))
+        with pytest.raises(ReproError):
+            load_result(path)

@@ -1,0 +1,58 @@
+"""Tests for repro.probing.noise."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProbingError
+from repro.probing.noise import GaussianRelativeNoise, NoNoise
+
+
+class TestNoNoise:
+    def test_identity(self, rng):
+        rtts = np.array([1.0, 5.0, 100.0])
+        out = NoNoise().perturb(rtts, rng)
+        assert np.array_equal(out, rtts)
+
+    def test_returns_copy(self, rng):
+        rtts = np.array([1.0])
+        out = NoNoise().perturb(rtts, rng)
+        out[0] = 99.0
+        assert rtts[0] == 1.0
+
+
+class TestGaussianRelativeNoise:
+    def test_mean_preserved(self, rng):
+        noise = GaussianRelativeNoise(std=0.05)
+        rtts = np.full(20_000, 50.0)
+        out = noise.perturb(rtts, rng)
+        assert out.mean() == pytest.approx(50.0, rel=0.01)
+
+    def test_relative_spread(self, rng):
+        noise = GaussianRelativeNoise(std=0.1)
+        short = noise.perturb(np.full(10_000, 10.0), rng).std()
+        long = noise.perturb(np.full(10_000, 100.0), rng).std()
+        assert long == pytest.approx(10 * short, rel=0.1)
+
+    def test_floor_enforced(self, rng):
+        noise = GaussianRelativeNoise(std=5.0, floor_ms=0.5)
+        out = noise.perturb(np.full(1_000, 1.0), rng)
+        assert (out >= 0.5).all()
+
+    def test_zero_rtt_stays_zero(self, rng):
+        noise = GaussianRelativeNoise(std=0.1)
+        out = noise.perturb(np.array([0.0, 10.0]), rng)
+        assert out[0] == 0.0
+        assert out[1] > 0.0
+
+    def test_zero_std_exact(self, rng):
+        noise = GaussianRelativeNoise(std=0.0)
+        rtts = np.array([3.0, 7.0])
+        assert np.array_equal(noise.perturb(rtts, rng), rtts)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ProbingError):
+            GaussianRelativeNoise(std=-0.1)
+
+    def test_zero_floor_rejected(self):
+        with pytest.raises(ProbingError):
+            GaussianRelativeNoise(floor_ms=0.0)

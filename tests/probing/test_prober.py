@@ -1,0 +1,106 @@
+"""Tests for repro.probing.prober."""
+
+import numpy as np
+import pytest
+
+from repro.config import ProbeConfig
+from repro.errors import ProbingError
+from repro.probing import NoNoise, Prober
+
+
+class TestMeasure:
+    def test_exact_with_no_noise(self, paper_network):
+        prober = Prober(paper_network, noise=NoNoise(), seed=0)
+        assert prober.measure(0, 1) == 12.0
+        assert prober.measure(1, 2) == 4.0
+
+    def test_self_probe_zero(self, paper_network):
+        prober = Prober(paper_network, noise=NoNoise(), seed=0)
+        assert prober.measure(3, 3) == 0.0
+
+    def test_noisy_probe_near_truth(self, paper_network):
+        prober = Prober(
+            paper_network,
+            config=ProbeConfig(probe_count=50, jitter_std=0.05),
+            seed=1,
+        )
+        measured = prober.measure(0, 1)
+        assert measured == pytest.approx(12.0, rel=0.05)
+
+    def test_averaging_reduces_error(self, paper_network):
+        def spread(probe_count, seed):
+            prober = Prober(
+                paper_network,
+                config=ProbeConfig(probe_count=probe_count, jitter_std=0.2),
+                seed=seed,
+            )
+            return np.std([prober.measure(0, 1) for _ in range(200)])
+
+        assert spread(20, 3) < spread(1, 3)
+
+    def test_unknown_node_rejected(self, paper_network):
+        prober = Prober(paper_network, seed=0)
+        with pytest.raises(ProbingError):
+            prober.measure(0, 99)
+
+    def test_reproducible(self, paper_network):
+        a = Prober(paper_network, seed=5).measure(0, 1)
+        b = Prober(paper_network, seed=5).measure(0, 1)
+        assert a == b
+
+
+class TestMeasureMany:
+    def test_order_preserved(self, exact_prober):
+        out = exact_prober.measure_many(0, [3, 1, 2])
+        assert out.tolist() == [12.0, 12.0, 8.0]
+
+    def test_empty_targets(self, exact_prober):
+        assert exact_prober.measure_many(0, []).size == 0
+
+
+class TestMeasureMatrix:
+    def test_matches_ground_truth_no_noise(self, paper_network, exact_prober):
+        nodes = [0, 1, 2, 3]
+        matrix = exact_prober.measure_matrix(nodes)
+        expected = paper_network.distances.submatrix(nodes)
+        assert np.allclose(matrix, expected)
+
+    def test_symmetric(self, paper_network):
+        prober = Prober(paper_network, seed=2)
+        matrix = prober.measure_matrix([0, 1, 2])
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+
+class TestProbeStats:
+    def test_counts_probes(self, paper_network):
+        prober = Prober(
+            paper_network, config=ProbeConfig(probe_count=5), seed=0
+        )
+        prober.measure(0, 1)
+        assert prober.stats.probes_sent == 5
+        assert prober.stats.pairs_measured == 1
+
+    def test_pairs_deduplicated(self, paper_network):
+        prober = Prober(paper_network, seed=0)
+        prober.measure(0, 1)
+        prober.measure(1, 0)
+        assert prober.stats.pairs_measured == 1
+
+    def test_matrix_probe_budget(self, paper_network):
+        """An n-node matrix measures exactly n(n-1)/2 pairs."""
+        prober = Prober(
+            paper_network, config=ProbeConfig(probe_count=3), seed=0
+        )
+        prober.measure_matrix([0, 1, 2, 3])
+        assert prober.stats.pairs_measured == 6
+        assert prober.stats.probes_sent == 18
+
+    def test_reset(self, paper_network):
+        prober = Prober(paper_network, seed=0)
+        prober.measure(0, 1)
+        prober.stats.reset()
+        assert prober.stats.probes_sent == 0
+        assert prober.stats.pairs_measured == 0
+        prober.measure(0, 1)
+        assert prober.stats.pairs_measured == 1

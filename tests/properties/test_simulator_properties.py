@@ -1,0 +1,110 @@
+"""Property-based tests for simulator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    CacheConfig,
+    DocumentConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.core.groups import groups_from_labels, GroupingResult
+from repro.simulator import EventQueue, RequestEvent, simulate
+from repro.simulator.cache import EdgeCache
+from repro.simulator.replacement import make_policy
+from repro.topology import build_network
+from repro.workload import generate_workload
+
+
+class TestEventQueueProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=0, max_size=60,
+        )
+    )
+    def test_pop_order_non_decreasing(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(RequestEvent(t, 1, 0))
+        popped = [q.pop().timestamp_ms for _ in range(len(times))]
+        assert popped == sorted(popped)
+
+
+class TestCacheProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(1, 50)),
+            min_size=1, max_size=80,
+        ),
+        st.sampled_from(["utility", "lru", "lfu"]),
+    )
+    def test_capacity_never_exceeded(self, operations, policy_name):
+        cache = EdgeCache(
+            node=1, capacity_bytes=100, policy=make_policy(policy_name)
+        )
+        now = 0.0
+        for doc, size in operations:
+            now += 1.0
+            if cache.holds(doc):
+                cache.access(doc, now)
+            else:
+                cache.admit(doc, size, 1.0, now, version=0)
+            assert 0 <= cache.used_bytes <= 100
+            # Accounting matches the stored entries exactly.
+            assert cache.used_bytes == sum(
+                cache.entry(d).size_bytes for d in cache.stored_ids()
+            )
+
+
+@st.composite
+def simulation_cases(draw):
+    num_caches = draw(st.integers(2, 8))
+    k = draw(st.integers(1, num_caches))
+    seed = draw(st.integers(0, 10_000))
+    return num_caches, k, seed
+
+
+class TestSimulationProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(simulation_cases())
+    def test_conservation_and_bounds(self, case):
+        num_caches, k, seed = case
+        network = build_network(num_caches=num_caches, seed=seed)
+        workload = generate_workload(
+            network.cache_nodes,
+            WorkloadConfig(
+                documents=DocumentConfig(num_documents=30),
+                requests_per_cache=25,
+            ),
+            seed=seed,
+        )
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(k, size=num_caches)
+        grouping = GroupingResult(
+            scheme="random",
+            groups=groups_from_labels(network.cache_nodes, labels),
+        )
+        config = SimulationConfig(
+            cache=CacheConfig(capacity_fraction=0.3),
+            warmup_fraction=0.0,
+        )
+        result = simulate(network, grouping, workload, config=config)
+        metrics = result.metrics
+        # Conservation: every request is exactly one of the three types.
+        assert metrics.conservation_holds()
+        assert metrics.total_requests() == workload.num_requests
+        # Latency bounds: at least local processing, finite.
+        for cache in network.cache_nodes:
+            stats = metrics.cache_stats(cache)
+            if stats.latency.count:
+                assert stats.latency.minimum >= config.cache.local_processing_ms
+                assert np.isfinite(stats.latency.maximum)
+        # Hit-rate decomposition sums to one.
+        rates = metrics.hit_rates()
+        assert sum(rates.values()) == pytest.approx(1.0)

@@ -1,0 +1,92 @@
+"""Stateful property test: MembershipManager under join/leave churn.
+
+Drives random leave/join sequences against the paper network's natural
+grouping and checks the partition invariants after every step: every
+present cache in exactly one group, group ids consistent, churn
+accounting monotone.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.groups import CacheGroup, GroupingResult
+from repro.core.membership import MembershipManager
+from repro.probing import NoNoise, Prober
+from repro.topology.network import network_from_matrix
+
+PAPER_MATRIX = [
+    [0.0, 12.0, 8.0, 12.0, 8.0, 12.0, 8.0],
+    [12.0, 0.0, 4.0, 17.0, 14.4, 17.0, 14.4],
+    [8.0, 4.0, 0.0, 14.4, 11.3, 14.4, 11.3],
+    [12.0, 17.0, 14.4, 0.0, 4.0, 17.0, 14.4],
+    [8.0, 14.4, 11.3, 4.0, 0.0, 14.4, 11.3],
+    [12.0, 17.0, 14.4, 17.0, 14.4, 0.0, 4.0],
+    [8.0, 14.4, 11.3, 14.4, 11.3, 4.0, 0.0],
+]
+
+NODES = st.integers(1, 6)
+
+
+class MembershipMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.network = network_from_matrix(PAPER_MATRIX)
+        self.prober = Prober(self.network, noise=NoNoise(), seed=0)
+        grouping = GroupingResult(
+            scheme="manual",
+            groups=(
+                CacheGroup(0, (1, 2)),
+                CacheGroup(1, (3, 4)),
+                CacheGroup(2, (5, 6)),
+            ),
+        )
+        self.manager = MembershipManager(grouping)
+        self.present = {1, 2, 3, 4, 5, 6}
+        self.events = 0
+
+    @precondition(lambda self: len(self.present) > 1)
+    @rule(node=NODES)
+    def leave(self, node):
+        if node not in self.present:
+            return
+        self.manager.leave(node)
+        self.present.discard(node)
+        self.events += 1
+
+    @rule(node=NODES, seed=st.integers(0, 100))
+    def join(self, node, seed):
+        if node in self.present or not self.present:
+            return
+        group_id = self.manager.join(self.prober, node, seed=seed)
+        assert node in self.manager.members_of(group_id)
+        self.present.add(node)
+        self.events += 1
+
+    @invariant()
+    def partition_exact(self):
+        seen = []
+        snapshot = self.manager.current_grouping()
+        for group in snapshot.groups:
+            seen.extend(group.members)
+        assert sorted(seen) == sorted(self.present)
+        assert len(seen) == len(set(seen))
+
+    @invariant()
+    def group_of_consistent(self):
+        for node in self.present:
+            group_id = self.manager.group_of(node)
+            assert node in self.manager.members_of(group_id)
+
+    @invariant()
+    def churn_matches_event_count(self):
+        expected = self.events / 6  # formed size is 6
+        assert abs(self.manager.churn_fraction() - expected) < 1e-9
+
+
+TestMembershipMachine = MembershipMachine.TestCase

@@ -1,0 +1,144 @@
+"""Tests for the EdgeCache bounded store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import EdgeCache, LRUPolicy, UtilityPolicy
+
+
+def make_cache(capacity=100, policy=None, on_evict=None):
+    return EdgeCache(
+        node=1,
+        capacity_bytes=capacity,
+        policy=policy or LRUPolicy(),
+        on_evict=on_evict,
+    )
+
+
+class TestAdmit:
+    def test_basic_store(self):
+        c = make_cache()
+        assert c.admit(1, 40, 1.0, now_ms=0.0, version=0)
+        assert c.holds(1)
+        assert c.used_bytes == 40
+        assert c.document_count == 1
+
+    def test_eviction_when_full(self):
+        c = make_cache(capacity=100)
+        c.admit(1, 60, 1.0, 0.0, 0)
+        c.admit(2, 30, 1.0, 1.0, 0)
+        assert c.admit(3, 50, 1.0, 2.0, 0)  # must evict doc 1 (LRU)
+        assert not c.holds(1)
+        assert c.holds(2) and c.holds(3)
+        assert c.used_bytes == 80
+
+    def test_multiple_evictions(self):
+        c = make_cache(capacity=100)
+        for doc in (1, 2, 3):
+            c.admit(doc, 30, 1.0, float(doc), 0)
+        assert c.admit(4, 90, 1.0, 4.0, 0)
+        assert c.stored_ids() == [4]
+
+    def test_oversized_document_not_admitted(self):
+        c = make_cache(capacity=100)
+        assert not c.admit(1, 150, 1.0, 0.0, 0)
+        assert not c.holds(1)
+        assert c.used_bytes == 0
+
+    def test_exact_fit(self):
+        c = make_cache(capacity=100)
+        assert c.admit(1, 100, 1.0, 0.0, 0)
+        assert c.used_bytes == 100
+
+    def test_readmit_refreshes_in_place(self):
+        c = make_cache()
+        c.admit(1, 40, 1.0, 0.0, version=0)
+        assert c.admit(1, 40, 1.0, 5.0, version=3)
+        assert c.used_bytes == 40
+        assert c.entry(1).version == 3
+        assert c.entry(1).stored_at_ms == 5.0
+
+    def test_zero_size_rejected(self):
+        c = make_cache()
+        with pytest.raises(SimulationError):
+            c.admit(1, 0, 1.0, 0.0, 0)
+
+    def test_capacity_never_exceeded_under_churn(self):
+        c = make_cache(capacity=200)
+        for doc in range(50):
+            c.admit(doc, 30 + (doc % 40), 1.0, float(doc), 0)
+            assert c.used_bytes <= 200
+
+
+class TestAccess:
+    def test_access_returns_entry(self):
+        c = make_cache()
+        c.admit(1, 40, 1.0, 0.0, 2)
+        entry = c.access(1, now_ms=1.0)
+        assert entry.doc_id == 1
+        assert entry.version == 2
+
+    def test_access_missing_raises(self):
+        with pytest.raises(SimulationError):
+            make_cache().access(1, 0.0)
+
+    def test_access_updates_lru_order(self):
+        c = make_cache(capacity=100)
+        c.admit(1, 50, 1.0, 0.0, 0)
+        c.admit(2, 50, 1.0, 1.0, 0)
+        c.access(1, 2.0)
+        c.admit(3, 50, 1.0, 3.0, 0)  # evicts 2, not 1
+        assert c.holds(1)
+        assert not c.holds(2)
+
+
+class TestInvalidate:
+    def test_drops_copy(self):
+        c = make_cache()
+        c.admit(1, 40, 1.0, 0.0, 0)
+        assert c.invalidate(1)
+        assert not c.holds(1)
+        assert c.used_bytes == 0
+
+    def test_idempotent(self):
+        c = make_cache()
+        assert not c.invalidate(1)
+
+    def test_utility_feedback(self):
+        policy = UtilityPolicy()
+        c = make_cache(policy=policy)
+        c.admit(1, 40, 10.0, 0.0, 0)
+        c.invalidate(1)
+        c.admit(1, 40, 10.0, 1.0, 1)
+        # One invalidation on record halves the utility.
+        assert policy.utility_of(1) == pytest.approx(1 * 10.0 / (40 * 2))
+
+
+class TestEvictCallback:
+    def test_called_on_eviction_and_invalidation(self):
+        evicted = []
+        c = make_cache(
+            capacity=100, on_evict=lambda node, doc: evicted.append(doc)
+        )
+        c.admit(1, 80, 1.0, 0.0, 0)
+        c.admit(2, 80, 1.0, 1.0, 0)   # evicts 1
+        c.invalidate(2)
+        assert evicted == [1, 2]
+
+    def test_not_called_on_rejected_admit(self):
+        evicted = []
+        c = make_cache(
+            capacity=50, on_evict=lambda node, doc: evicted.append(doc)
+        )
+        c.admit(1, 100, 1.0, 0.0, 0)
+        assert evicted == []
+
+
+class TestConstruction:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            EdgeCache(node=1, capacity_bytes=0, policy=LRUPolicy())
+
+    def test_entry_missing_raises(self):
+        with pytest.raises(SimulationError):
+            make_cache().entry(9)

@@ -1,0 +1,98 @@
+"""Tests for the latency model."""
+
+import pytest
+
+from repro.config import CacheConfig, SimulationConfig
+from repro.errors import SimulationError
+from repro.simulator import LatencyModel, ServicePath
+
+
+@pytest.fixture
+def model(paper_network):
+    config = SimulationConfig(
+        cache=CacheConfig(local_processing_ms=0.5),
+        origin_processing_ms=40.0,
+        link_bandwidth_bytes_per_ms=1000.0,
+        group_lookup_ms=0.3,
+    )
+    return LatencyModel(paper_network, config)
+
+
+class TestTransfer:
+    def test_bandwidth_division(self, model):
+        assert model.transfer_ms(2000) == 2.0
+
+    def test_zero_size(self, model):
+        assert model.transfer_ms(0) == 0.0
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(SimulationError):
+            model.transfer_ms(-1)
+
+
+class TestLocalHit:
+    def test_processing_only(self, model):
+        account = model.local_hit()
+        assert account.path is ServicePath.LOCAL_HIT
+        assert account.total_ms == 0.5
+        assert account.fetch_ms == 0.0
+        assert account.transfer_ms == 0.0
+
+
+class TestGroupHit:
+    def test_breakdown(self, model, paper_network):
+        account = model.group_hit(1, 2, size_bytes=1000, query_ms=4.3)
+        # local 0.5 + query 4.3 + rtt(1,2)=4.0 + transfer 1.0
+        assert account.path is ServicePath.GROUP_HIT
+        assert account.query_ms == 4.3
+        assert account.fetch_ms == paper_network.rtt(1, 2)
+        assert account.transfer_ms == 1.0
+        assert account.total_ms == pytest.approx(0.5 + 4.3 + 4.0 + 1.0)
+
+    def test_lower_bound_is_network_rtt(self, model, paper_network):
+        """Latency is never below the pure network cost."""
+        account = model.group_hit(1, 3, size_bytes=500, query_ms=0.0)
+        assert account.total_ms >= paper_network.rtt(1, 3)
+
+
+class TestOriginFetch:
+    def test_breakdown(self, model, paper_network):
+        account = model.origin_fetch(1, size_bytes=1000, query_ms=2.0)
+        # local 0.5 + query 2.0 + rtt(1,Os)=12 + origin 40 + transfer 1
+        assert account.path is ServicePath.ORIGIN_FETCH
+        assert account.total_ms == pytest.approx(0.5 + 2.0 + 12.0 + 40.0 + 1.0)
+
+    def test_far_cache_pays_more(self, model):
+        near = model.origin_fetch(2, 1000, query_ms=0.0)  # 8ms to Os
+        far = model.origin_fetch(1, 1000, query_ms=0.0)   # 12ms to Os
+        assert far.total_ms > near.total_ms
+
+    def test_processing_override(self, model):
+        """The congestion model's inflated processing time is honoured."""
+        flat = model.origin_fetch(1, 1000, query_ms=0.0)
+        inflated = model.origin_fetch(
+            1, 1000, query_ms=0.0, processing_ms=120.0
+        )
+        assert inflated.total_ms == pytest.approx(
+            flat.total_ms - 40.0 + 120.0
+        )
+
+    def test_negative_processing_rejected(self, model):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            model.origin_fetch(1, 1000, query_ms=0.0, processing_ms=-1.0)
+
+
+class TestServiceAccount:
+    def test_negative_total_rejected(self):
+        from repro.simulator.latency import ServiceAccount
+
+        with pytest.raises(SimulationError):
+            ServiceAccount(
+                path=ServicePath.LOCAL_HIT,
+                total_ms=-1.0,
+                query_ms=0.0,
+                fetch_ms=0.0,
+                transfer_ms=0.0,
+            )

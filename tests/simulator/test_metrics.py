@@ -1,0 +1,147 @@
+"""Tests for simulation metrics collection."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import SimulationMetrics
+from repro.simulator.latency import ServiceAccount, ServicePath
+
+
+def account(path, total=10.0):
+    return ServiceAccount(
+        path=path, total_ms=total, query_ms=0.0, fetch_ms=0.0, transfer_ms=0.0
+    )
+
+
+@pytest.fixture
+def metrics():
+    return SimulationMetrics([1, 2, 3])
+
+
+class TestRecording:
+    def test_request_types_counted(self, metrics):
+        metrics.record_request(
+            1, account(ServicePath.LOCAL_HIT), 0, 0, counted=True
+        )
+        metrics.record_request(
+            1, account(ServicePath.GROUP_HIT), 2, 500, counted=True
+        )
+        metrics.record_request(
+            1, account(ServicePath.ORIGIN_FETCH), 2, 800, counted=True
+        )
+        stats = metrics.cache_stats(1)
+        assert stats.local_hits == 1
+        assert stats.group_hits == 1
+        assert stats.origin_fetches == 1
+        assert stats.requests == 3
+        assert stats.peer_bytes == 500
+        assert stats.origin_bytes == 800
+        assert stats.query_messages == 4
+
+    def test_warmup_not_counted(self, metrics):
+        metrics.record_request(
+            1, account(ServicePath.LOCAL_HIT), 0, 0, counted=False
+        )
+        assert metrics.warmup_skipped == 1
+        assert metrics.total_requests() == 0
+
+    def test_invalidations(self, metrics):
+        metrics.record_invalidation(2)
+        metrics.record_invalidation(2)
+        assert metrics.invalidation_messages == 2
+        assert metrics.cache_stats(2).invalidations_received == 2
+
+    def test_unknown_cache_rejected(self, metrics):
+        with pytest.raises(SimulationError):
+            metrics.record_invalidation(9)
+
+
+class TestAggregates:
+    def test_average_latency_all(self, metrics):
+        metrics.record_request(
+            1, account(ServicePath.LOCAL_HIT, 10.0), 0, 0, counted=True
+        )
+        metrics.record_request(
+            2, account(ServicePath.LOCAL_HIT, 30.0), 0, 0, counted=True
+        )
+        assert metrics.average_latency_ms() == pytest.approx(20.0)
+
+    def test_average_latency_subset(self, metrics):
+        metrics.record_request(
+            1, account(ServicePath.LOCAL_HIT, 10.0), 0, 0, counted=True
+        )
+        metrics.record_request(
+            2, account(ServicePath.LOCAL_HIT, 30.0), 0, 0, counted=True
+        )
+        assert metrics.average_latency_ms([2]) == pytest.approx(30.0)
+
+    def test_average_latency_weighted_by_requests(self, metrics):
+        """Per the paper: mean over requests, not mean of cache means."""
+        for _ in range(3):
+            metrics.record_request(
+                1, account(ServicePath.LOCAL_HIT, 10.0), 0, 0, counted=True
+            )
+        metrics.record_request(
+            2, account(ServicePath.LOCAL_HIT, 50.0), 0, 0, counted=True
+        )
+        assert metrics.average_latency_ms() == pytest.approx(20.0)
+
+    def test_no_requests_raises(self, metrics):
+        with pytest.raises(SimulationError):
+            metrics.average_latency_ms()
+
+    def test_hit_rates(self, metrics):
+        metrics.record_request(
+            1, account(ServicePath.LOCAL_HIT), 0, 0, counted=True
+        )
+        metrics.record_request(
+            1, account(ServicePath.GROUP_HIT), 0, 0, counted=True
+        )
+        metrics.record_request(
+            2, account(ServicePath.ORIGIN_FETCH), 0, 0, counted=True
+        )
+        metrics.record_request(
+            2, account(ServicePath.ORIGIN_FETCH), 0, 0, counted=True
+        )
+        rates = metrics.hit_rates()
+        assert rates["local"] == 0.25
+        assert rates["group"] == 0.25
+        assert rates["origin"] == 0.5
+
+    def test_group_hit_rate(self, metrics):
+        metrics.record_request(
+            1, account(ServicePath.GROUP_HIT), 0, 0, counted=True
+        )
+        metrics.record_request(
+            1, account(ServicePath.ORIGIN_FETCH), 0, 0, counted=True
+        )
+        assert metrics.group_hit_rate() == 0.5
+
+    def test_group_hit_rate_no_misses(self, metrics):
+        metrics.record_request(
+            1, account(ServicePath.LOCAL_HIT), 0, 0, counted=True
+        )
+        assert metrics.group_hit_rate() == 0.0
+
+    def test_conservation(self, metrics):
+        metrics.record_request(
+            1, account(ServicePath.LOCAL_HIT), 0, 0, counted=True
+        )
+        assert metrics.conservation_holds()
+
+    def test_cache_hit_rate(self, metrics):
+        metrics.record_request(
+            1, account(ServicePath.LOCAL_HIT), 0, 0, counted=True
+        )
+        metrics.record_request(
+            1, account(ServicePath.ORIGIN_FETCH), 0, 0, counted=True
+        )
+        assert metrics.cache_stats(1).hit_rate() == 0.5
+
+    def test_hit_rate_no_requests_raises(self, metrics):
+        with pytest.raises(SimulationError):
+            metrics.cache_stats(1).hit_rate()
+
+    def test_empty_cache_list_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationMetrics([])

@@ -1,0 +1,47 @@
+"""Tests for the origin server."""
+
+import pytest
+
+from repro.config import DocumentConfig
+from repro.errors import SimulationError
+from repro.simulator import OriginServer
+from repro.workload import build_catalog
+
+
+@pytest.fixture
+def origin():
+    catalog = build_catalog(
+        DocumentConfig(num_documents=10, dynamic_fraction=0.5), seed=1
+    )
+    return OriginServer(catalog)
+
+
+class TestOriginServer:
+    def test_initial_versions_zero(self, origin):
+        for doc in range(10):
+            assert origin.version_of(doc) == 0
+
+    def test_update_bumps_version(self, origin):
+        dynamic = origin.catalog.dynamic_ids()[0]
+        assert origin.apply_update(dynamic) == 1
+        assert origin.apply_update(dynamic) == 2
+        assert origin.version_of(dynamic) == 2
+        assert origin.updates_applied == 2
+
+    def test_static_update_rejected(self, origin):
+        static = [
+            d for d in range(10) if not origin.catalog.is_dynamic(d)
+        ][0]
+        with pytest.raises(SimulationError):
+            origin.apply_update(static)
+
+    def test_size_of(self, origin):
+        assert origin.size_of(0) == origin.catalog.size_of(0)
+
+    def test_unknown_document_rejected(self, origin):
+        with pytest.raises(SimulationError):
+            origin.version_of(99)
+        with pytest.raises(SimulationError):
+            origin.apply_update(99)
+        with pytest.raises(SimulationError):
+            origin.size_of(99)

@@ -1,0 +1,108 @@
+"""Tests for the high-level simulate() entry point."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.groups import single_group, singleton_groups
+from repro.core.schemes import SLScheme
+from repro.config import LandmarkConfig
+from repro.simulator import simulate
+
+
+class TestSimulate:
+    def test_returns_result(self, small_network, small_workload):
+        result = simulate(
+            small_network,
+            singleton_groups(small_network.cache_nodes),
+            small_workload,
+        )
+        assert result.average_latency_ms() > 0
+        assert result.metrics.total_requests() > 0
+
+    def test_latency_subsets(self, small_network, small_workload):
+        result = simulate(
+            small_network,
+            single_group(small_network.cache_nodes),
+            small_workload,
+        )
+        near = result.latency_nearest_origin(5)
+        far = result.latency_farthest_origin(5)
+        assert near > 0 and far > 0
+        overall = result.average_latency_ms()
+        assert min(near, far) <= overall <= max(near, far) + 1e-9
+
+    def test_far_caches_slower_without_cooperation(
+        self, small_network, small_workload
+    ):
+        result = simulate(
+            small_network,
+            singleton_groups(small_network.cache_nodes),
+            small_workload,
+        )
+        assert result.latency_farthest_origin(5) > result.latency_nearest_origin(5)
+
+    def test_hit_rates_sum_to_one(self, small_network, small_workload):
+        result = simulate(
+            small_network,
+            single_group(small_network.cache_nodes),
+            small_workload,
+        )
+        rates = result.hit_rates()
+        assert sum(rates.values()) == pytest.approx(1.0)
+
+    def test_cooperation_raises_hit_rate(self, small_network, small_workload):
+        solo = simulate(
+            small_network,
+            singleton_groups(small_network.cache_nodes),
+            small_workload,
+        )
+        grouped = simulate(
+            small_network,
+            single_group(small_network.cache_nodes),
+            small_workload,
+        )
+        assert grouped.group_hit_rate() > solo.group_hit_rate()
+        assert grouped.hit_rates()["origin"] < solo.hit_rates()["origin"]
+
+    def test_deterministic(self, small_network, small_workload):
+        grouping = SLScheme(
+            landmark_config=LandmarkConfig(num_landmarks=4)
+        ).form_groups(small_network, 4, seed=1)
+        a = simulate(small_network, grouping, small_workload)
+        b = simulate(small_network, grouping, small_workload)
+        assert a.average_latency_ms() == b.average_latency_ms()
+
+    def test_latency_lower_bound(self, small_network, small_workload):
+        """No request can beat local processing time."""
+        config = SimulationConfig()
+        result = simulate(
+            small_network,
+            singleton_groups(small_network.cache_nodes),
+            small_workload,
+            config=config,
+        )
+        for cache in small_network.cache_nodes:
+            stats = result.metrics.cache_stats(cache)
+            if stats.latency.count:
+                assert (
+                    stats.latency.minimum
+                    >= config.cache.local_processing_ms
+                )
+
+    def test_group_protocol_mode_forwarded(
+        self, small_network, small_workload
+    ):
+        directory = simulate(
+            small_network,
+            single_group(small_network.cache_nodes),
+            small_workload,
+            group_protocol_mode="directory",
+        )
+        beacon = simulate(
+            small_network,
+            single_group(small_network.cache_nodes),
+            small_workload,
+            group_protocol_mode="beacon",
+        )
+        # Directory lookups are free of distance costs, so latency is lower.
+        assert directory.average_latency_ms() < beacon.average_latency_ms()

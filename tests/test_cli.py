@@ -1,0 +1,234 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def network_file(tmp_path):
+    path = tmp_path / "net.npz"
+    code = main(
+        ["network", "--caches", "15", "--seed", "3", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture
+def groups_file(tmp_path, network_file):
+    path = tmp_path / "groups.json"
+    code = main(
+        [
+            "form-groups",
+            "--network", str(network_file),
+            "--scheme", "SL",
+            "--k", "3",
+            "--landmarks", "5",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestNetworkCommand:
+    def test_generates_and_reports(self, capsys, tmp_path):
+        code = main(["network", "--caches", "10", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "caches=10" in out
+        assert "server-dist" in out
+
+    def test_writes_archive(self, network_file):
+        assert network_file.exists()
+
+
+class TestFormGroupsCommand:
+    def test_forms_and_saves(self, capsys, groups_file):
+        out = capsys.readouterr().out
+        assert "SL:" in out
+        assert "gicost" in out
+        payload = json.loads(groups_file.read_text())
+        assert payload["scheme"] == "SL"
+        members = [m for g in payload["groups"] for m in g["members"]]
+        assert sorted(members) == list(range(1, 16))
+
+    def test_sdsl_scheme(self, capsys, network_file, tmp_path):
+        code = main(
+            [
+                "form-groups",
+                "--network", str(network_file),
+                "--scheme", "SDSL",
+                "--k", "3",
+                "--landmarks", "5",
+            ]
+        )
+        assert code == 0
+        assert "SDSL" in capsys.readouterr().out
+
+    def test_missing_network_errors(self, capsys, tmp_path):
+        code = main(
+            [
+                "form-groups",
+                "--network", str(tmp_path / "nope.npz"),
+                "--k", "3",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_simulates_and_exports(
+        self, capsys, tmp_path, network_file, groups_file
+    ):
+        csv_path = tmp_path / "stats.csv"
+        code = main(
+            [
+                "simulate",
+                "--network", str(network_file),
+                "--groups", str(groups_file),
+                "--requests-per-cache", "20",
+                "--documents", "50",
+                "--export-csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg latency" in out
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("cache_node,")
+
+    def test_per_group_and_trace_stats(
+        self, capsys, network_file, groups_file
+    ):
+        code = main(
+            [
+                "simulate",
+                "--network", str(network_file),
+                "--groups", str(groups_file),
+                "--requests-per-cache", "30",
+                "--documents", "50",
+                "--per-group",
+                "--trace-stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload:" in out
+        assert "zipf-alpha" in out
+        assert "gicost_ms" in out         # per-group table header
+        assert "server_dist_ms" in out
+
+
+class TestExperimentCommand:
+    def test_runs_and_saves(self, capsys, tmp_path):
+        json_path = tmp_path / "fig4.json"
+        csv_path = tmp_path / "fig4.csv"
+        code = main(
+            [
+                "experiment", "fig4",
+                "--repetitions", "1",
+                "--out", str(json_path),
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== fig4 ==" in out
+        assert json.loads(json_path.read_text())["experiment_id"] == "fig4"
+        assert csv_path.exists()
+
+    def test_plot_flag(self, capsys):
+        code = main(["experiment", "fig4", "--repetitions", "1", "--plot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sl_ms" in out
+        assert "(! = overlap)" in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestExperimentAll:
+    def test_all_archives_selected(self, capsys, tmp_path, monkeypatch):
+        """'experiment all' runs the registry and archives results."""
+        from repro.experiments import registry, run_fig4
+
+        # Shrink the registry so the test stays fast.
+        small = {
+            "fig4": lambda **kw: run_fig4(
+                network_sizes=(10,), num_landmarks=4, repetitions=1
+            )
+        }
+        monkeypatch.setattr(registry, "REGISTRY", small)
+        import repro.experiments.suite as suite
+
+        monkeypatch.setattr(suite, "REGISTRY", small)
+        out_dir = tmp_path / "results"
+        code = main(
+            [
+                "experiment", "all",
+                "--figures", "fig4",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== fig4 ==" in out
+        assert (out_dir / "fig4.json").exists()
+        assert (out_dir / "summary.md").exists()
+
+
+class TestCompareCommand:
+    def test_no_regression_exit_zero(self, capsys, tmp_path):
+        from repro.analysis.report import ExperimentResult, SeriesResult
+        from repro.persist import save_result
+
+        result = ExperimentResult(
+            experiment_id="figX",
+            x_label="k",
+            x_values=(1,),
+            series=(SeriesResult("a_ms", (5.0,)),),
+        )
+        base = tmp_path / "base.json"
+        save_result(result, base)
+        code = main(["compare", str(base), str(base)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exit_two(self, capsys, tmp_path):
+        from repro.analysis.report import ExperimentResult, SeriesResult
+        from repro.persist import save_result
+
+        def result_of(value):
+            return ExperimentResult(
+                experiment_id="figX",
+                x_label="k",
+                x_values=(1,),
+                series=(SeriesResult("a_ms", (value,)),),
+            )
+
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        save_result(result_of(5.0), base)
+        save_result(result_of(9.0), cand)
+        code = main(["compare", str(base), str(cand)])
+        assert code == 2
+        assert "REGRESSED" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

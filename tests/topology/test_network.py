@@ -1,0 +1,109 @@
+"""Tests for repro.topology.network: EdgeCacheNetwork and build_network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.network import (
+    EdgeCacheNetwork,
+    build_network,
+    network_from_matrix,
+)
+from repro.types import ORIGIN_NODE_ID
+
+
+class TestEdgeCacheNetwork:
+    def test_from_matrix(self, paper_network):
+        assert paper_network.num_caches == 6
+        assert paper_network.origin == ORIGIN_NODE_ID
+        assert paper_network.cache_nodes == [1, 2, 3, 4, 5, 6]
+        assert paper_network.all_nodes == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_rtt_lookup(self, paper_network):
+        assert paper_network.rtt(0, 1) == 12.0
+        assert paper_network.rtt(1, 2) == 4.0
+
+    def test_server_distance(self, paper_network):
+        assert paper_network.server_distance(1) == 12.0
+        assert paper_network.server_distance(2) == 8.0
+
+    def test_origin_has_no_server_distance(self, paper_network):
+        with pytest.raises(ValueError):
+            paper_network.server_distance(ORIGIN_NODE_ID)
+
+    def test_server_distances_vector(self, paper_network):
+        dists = paper_network.server_distances()
+        assert dists.tolist() == [12.0, 8.0, 12.0, 8.0, 12.0, 8.0]
+
+    def test_nearest_and_farthest(self, paper_network):
+        nearest = paper_network.caches_nearest_origin(3)
+        farthest = paper_network.caches_farthest_origin(3)
+        assert set(nearest) == {2, 4, 6}  # the 8ms caches
+        assert set(farthest) == {1, 3, 5}  # the 12ms caches
+
+    def test_nearest_count_bounds(self, paper_network):
+        with pytest.raises(ValueError):
+            paper_network.caches_nearest_origin(0)
+        with pytest.raises(ValueError):
+            paper_network.caches_nearest_origin(7)
+
+    def test_too_small_matrix_rejected(self):
+        with pytest.raises(TopologyError):
+            network_from_matrix([[0.0]])
+
+
+class TestBuildNetwork:
+    def test_sizes(self):
+        net = build_network(num_caches=20, seed=5)
+        assert net.num_caches == 20
+        assert net.distances.size == 21
+        assert net.placement is not None
+        assert net.graph is not None
+
+    def test_reproducible(self):
+        a = build_network(num_caches=15, seed=8)
+        b = build_network(num_caches=15, seed=8)
+        assert np.array_equal(a.distances.as_array(), b.distances.as_array())
+
+    def test_different_seeds_differ(self):
+        a = build_network(num_caches=15, seed=1)
+        b = build_network(num_caches=15, seed=2)
+        assert not np.array_equal(a.distances.as_array(), b.distances.as_array())
+
+    def test_distances_form_metric(self):
+        net = build_network(num_caches=12, seed=3)
+        arr = net.distances.as_array()
+        assert (arr >= 0).all()
+        assert np.allclose(arr, arr.T)
+        assert np.allclose(np.diag(arr), 0.0)
+        n = arr.shape[0]
+        for i in range(n):
+            for j in range(n):
+                assert (arr[i, j] <= arr[i] + arr[:, j] + 1e-9).all()
+
+    def test_caches_have_close_peers(self):
+        """Density scaling must give most caches a nearby peer.
+
+        The paper's cooperative premise needs caches to share stub
+        domains; after density sizing the median nearest-peer RTT must
+        be far below the median origin distance.
+        """
+        net = build_network(num_caches=60, seed=9)
+        arr = net.distances.as_array()
+        cache_block = arr[1:, 1:] + np.diag(np.full(60, np.inf))
+        nearest_peer = cache_block.min(axis=1)
+        assert np.median(nearest_peer) < np.median(net.server_distances()) / 2
+
+    def test_server_distances_spread(self):
+        """Transit-stub topologies give a wide near/far origin spread."""
+        net = build_network(num_caches=40, seed=10)
+        dists = net.server_distances()
+        assert dists.max() > 3 * dists.min()
+
+    def test_placement_mismatch_rejected(self):
+        net = build_network(num_caches=5, seed=1)
+        with pytest.raises(TopologyError):
+            EdgeCacheNetwork(
+                distances=net.distances,
+                placement=build_network(num_caches=6, seed=1).placement,
+            )

@@ -1,0 +1,37 @@
+"""Tests for network statistics."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import network_from_matrix
+from repro.topology.stats import network_stats
+
+
+class TestNetworkStats:
+    def test_paper_network_values(self, paper_network):
+        stats = network_stats(paper_network)
+        assert stats.num_caches == 6
+        # Pairwise RTTs among the 6 caches: 4.0 x3, 11.3 x..., etc.
+        assert stats.diameter_ms == 17.0
+        assert stats.min_server_distance_ms == 8.0
+        assert stats.max_server_distance_ms == 12.0
+        assert stats.mean_server_distance_ms == pytest.approx(10.0)
+        # Every cache's nearest peer is its 4.0ms partner.
+        assert stats.median_nearest_peer_rtt_ms == 4.0
+
+    def test_generated_network(self, small_network):
+        stats = network_stats(small_network)
+        assert stats.num_caches == 30
+        assert 0 < stats.median_pairwise_rtt_ms <= stats.mean_pairwise_rtt_ms * 2
+        assert stats.diameter_ms >= stats.mean_pairwise_rtt_ms
+        assert stats.median_nearest_peer_rtt_ms < stats.median_pairwise_rtt_ms
+
+    def test_str_form(self, paper_network):
+        text = str(network_stats(paper_network))
+        assert "caches=6" in text
+        assert "diameter" in text
+
+    def test_too_small_rejected(self):
+        net = network_from_matrix([[0.0, 5.0], [5.0, 0.0]])
+        with pytest.raises(TopologyError):
+            network_stats(net)

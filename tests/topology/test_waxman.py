@@ -1,0 +1,102 @@
+"""Tests for repro.topology.waxman."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.waxman import scale_distances_to_latencies, waxman_graph
+
+
+def components_of(n, edges):
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i, j, _d in edges:
+        parent[find(i)] = find(j)
+    return len({find(i) for i in range(n)})
+
+
+class TestWaxmanGraph:
+    def test_connected_for_various_sizes(self, rng):
+        for n in (1, 2, 3, 10, 40):
+            _pos, edges = waxman_graph(n, rng)
+            if n > 1:
+                assert components_of(n, edges) == 1
+
+    def test_positions_shape(self, rng):
+        pos, _ = waxman_graph(12, rng)
+        assert pos.shape == (12, 2)
+        assert ((pos >= 0) & (pos <= 1)).all()
+
+    def test_single_node(self, rng):
+        pos, edges = waxman_graph(1, rng)
+        assert pos.shape == (1, 2)
+        assert edges == []
+
+    def test_edges_canonical_order(self, rng):
+        _pos, edges = waxman_graph(20, rng)
+        for i, j, d in edges:
+            assert i < j
+            assert d >= 0
+
+    def test_no_duplicate_edges(self, rng):
+        _pos, edges = waxman_graph(25, rng)
+        pairs = [(i, j) for i, j, _ in edges]
+        assert len(pairs) == len(set(pairs))
+
+    def test_higher_alpha_more_edges(self):
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        _, sparse = waxman_graph(40, rng_a, alpha=0.1, beta=0.3)
+        _, dense = waxman_graph(40, rng_b, alpha=0.9, beta=0.9)
+        assert len(dense) > len(sparse)
+
+    def test_bad_n_rejected(self, rng):
+        with pytest.raises(TopologyError):
+            waxman_graph(0, rng)
+
+    def test_bad_params_rejected(self, rng):
+        with pytest.raises(TopologyError):
+            waxman_graph(5, rng, alpha=0.0)
+        with pytest.raises(TopologyError):
+            waxman_graph(5, rng, beta=1.5)
+
+    def test_reproducible(self):
+        a = waxman_graph(15, np.random.default_rng(3))
+        b = waxman_graph(15, np.random.default_rng(3))
+        assert np.array_equal(a[0], b[0])
+        assert a[1] == b[1]
+
+
+class TestScaleDistances:
+    def test_latencies_within_range(self, rng):
+        edges = [(0, 1, 0.1), (1, 2, 0.5), (0, 2, 0.9)]
+        out = scale_distances_to_latencies(edges, (2.0, 10.0), rng)
+        for _i, _j, latency in out:
+            assert 2.0 <= latency <= 10.0
+
+    def test_monotone_mapping_before_jitter(self):
+        # With a jitter-free check we can only assert the endpoints:
+        # min-distance edges land near the low end, max near the high.
+        rng = np.random.default_rng(0)
+        edges = [(0, 1, 0.0), (1, 2, 1.0)]
+        out = scale_distances_to_latencies(edges, (2.0, 10.0), rng)
+        assert out[0][2] < out[1][2]
+
+    def test_empty_edges(self, rng):
+        assert scale_distances_to_latencies([], (1.0, 2.0), rng) == []
+
+    def test_equal_distances_mid_range(self, rng):
+        edges = [(0, 1, 0.5), (1, 2, 0.5)]
+        out = scale_distances_to_latencies(edges, (4.0, 6.0), rng)
+        for _i, _j, latency in out:
+            assert 4.0 <= latency <= 6.0
+
+    def test_bad_range_rejected(self, rng):
+        with pytest.raises(TopologyError):
+            scale_distances_to_latencies([(0, 1, 0.5)], (5.0, 1.0), rng)

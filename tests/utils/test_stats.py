@@ -1,0 +1,130 @@
+"""Tests for repro.utils.stats: online and batch statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import OnlineStats, percentile, summarize
+
+
+class TestOnlineStats:
+    def test_mean_and_variance_match_numpy(self):
+        data = [1.5, 2.0, -3.0, 7.25, 0.0, 4.5]
+        s = OnlineStats()
+        s.add_many(data)
+        assert s.mean == pytest.approx(np.mean(data))
+        assert s.variance == pytest.approx(np.var(data, ddof=1))
+        assert s.stddev == pytest.approx(np.std(data, ddof=1))
+
+    def test_min_max(self):
+        s = OnlineStats()
+        s.add_many([3.0, -1.0, 10.0])
+        assert s.minimum == -1.0
+        assert s.maximum == 10.0
+
+    def test_count(self):
+        s = OnlineStats()
+        assert s.count == 0
+        s.add(1.0)
+        assert s.count == 1
+
+    def test_single_value_variance_zero(self):
+        s = OnlineStats()
+        s.add(5.0)
+        assert s.variance == 0.0
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            OnlineStats().mean
+
+    def test_empty_variance_raises(self):
+        with pytest.raises(ValueError):
+            OnlineStats().variance
+
+    def test_empty_minmax_raises(self):
+        with pytest.raises(ValueError):
+            OnlineStats().minimum
+        with pytest.raises(ValueError):
+            OnlineStats().maximum
+
+    def test_merge_equivalent_to_combined_stream(self):
+        left_data = [1.0, 2.0, 3.0]
+        right_data = [10.0, -5.0]
+        left, right, combined = OnlineStats(), OnlineStats(), OnlineStats()
+        left.add_many(left_data)
+        right.add_many(right_data)
+        combined.add_many(left_data + right_data)
+        merged = left.merge(right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        s = OnlineStats()
+        s.add_many([1.0, 2.0])
+        merged = s.merge(OnlineStats())
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+        other_way = OnlineStats().merge(s)
+        assert other_way.mean == pytest.approx(1.5)
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = OnlineStats(), OnlineStats()
+        a.add(1.0)
+        b.add(3.0)
+        a.merge(b)
+        assert a.count == 1
+        assert b.count == 1
+
+    def test_numerical_stability_large_offset(self):
+        base = 1e9
+        data = [base + x for x in (0.1, 0.2, 0.3)]
+        s = OnlineStats()
+        s.add_many(data)
+        # Values at a 1e9 offset only retain ~2e-7 absolute precision in
+        # float64, so allow a proportionally loose tolerance.
+        assert s.variance == pytest.approx(0.01, rel=1e-3)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummarize:
+    def test_fields(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        s = summarize(data)
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_single_value(self):
+        s = summarize([2.0])
+        assert s.stddev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_contains_stats(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean=" in text and "p95=" in text

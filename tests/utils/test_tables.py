@@ -1,0 +1,56 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"])
+        t.add_row(["alpha", 1.0])
+        t.add_row(["b", 20.5])
+        rendered = t.render()
+        lines = rendered.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        # all lines share the same column separator positions
+        assert {line.index("|") for line in lines} == {lines[0].index("|")}
+
+    def test_float_formatting(self):
+        t = Table(["x"], float_format="{:.3f}")
+        t.add_row([1.23456])
+        assert "1.235" in t.render()
+
+    def test_numeric_right_aligned(self):
+        t = Table(["v"])
+        t.add_row([1.0])
+        t.add_row([100.0])
+        lines = t.render().splitlines()
+        assert lines[2].endswith("1.00")
+        assert lines[3].endswith("100.00")
+
+    def test_wrong_row_width_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_row_count(self):
+        t = Table(["a"])
+        assert t.row_count == 0
+        t.add_row([1])
+        assert t.row_count == 1
+
+    def test_bool_rendered_as_text(self):
+        t = Table(["flag"])
+        t.add_row([True])
+        assert "True" in t.render()
+
+    def test_str_equals_render(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()

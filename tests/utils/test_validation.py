@@ -1,0 +1,53 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 0.1)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x"):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckFraction:
+    def test_accepts_bounds(self):
+        check_fraction("x", 0.0)
+        check_fraction("x", 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.01)
+        with pytest.raises(ValueError):
+            check_fraction("x", -0.01)
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        check_in_range("x", 5, 1, 10)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="x"):
+            check_in_range("x", 11, 1, 10)

@@ -1,0 +1,94 @@
+"""Tests for the document catalog."""
+
+import numpy as np
+import pytest
+
+from repro.config import DocumentConfig
+from repro.errors import WorkloadError
+from repro.workload import Document, DocumentCatalog, build_catalog
+
+
+class TestDocument:
+    def test_valid(self):
+        d = Document(doc_id=0, size_bytes=100, is_dynamic=True)
+        assert d.size_bytes == 100
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(WorkloadError):
+            Document(doc_id=-1, size_bytes=1, is_dynamic=False)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            Document(doc_id=0, size_bytes=0, is_dynamic=False)
+
+
+class TestDocumentCatalog:
+    def test_dense_ids_required(self):
+        docs = [Document(1, 10, False)]
+        with pytest.raises(WorkloadError):
+            DocumentCatalog(docs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            DocumentCatalog([])
+
+    def test_accessors(self):
+        docs = [
+            Document(0, 10, True),
+            Document(1, 20, False),
+        ]
+        catalog = DocumentCatalog(docs)
+        assert len(catalog) == 2
+        assert catalog.size_of(0) == 10
+        assert catalog.is_dynamic(0)
+        assert not catalog.is_dynamic(1)
+        assert catalog.total_bytes == 30
+        assert catalog.mean_size_bytes == 15.0
+        assert catalog.dynamic_ids() == [0]
+        assert catalog[1].size_bytes == 20
+
+    def test_out_of_range_rejected(self):
+        catalog = DocumentCatalog([Document(0, 10, False)])
+        with pytest.raises(WorkloadError):
+            catalog[1]
+
+
+class TestBuildCatalog:
+    def test_size_and_flags(self):
+        cfg = DocumentConfig(num_documents=100, dynamic_fraction=0.3)
+        catalog = build_catalog(cfg, seed=1)
+        assert len(catalog) == 100
+        assert len(catalog.dynamic_ids()) == 30
+        # Dynamic documents are the most popular (lowest ids).
+        assert catalog.dynamic_ids() == list(range(30))
+
+    def test_mean_size_approximate(self):
+        cfg = DocumentConfig(
+            num_documents=5000, mean_size_bytes=10_000.0, size_sigma=1.0
+        )
+        catalog = build_catalog(cfg, seed=2)
+        assert catalog.mean_size_bytes == pytest.approx(10_000, rel=0.15)
+
+    def test_zero_sigma_constant_sizes(self):
+        cfg = DocumentConfig(
+            num_documents=10, mean_size_bytes=500.0, size_sigma=0.0
+        )
+        catalog = build_catalog(cfg, seed=3)
+        assert set(int(s) for s in catalog.sizes) == {500}
+
+    def test_sizes_positive(self):
+        cfg = DocumentConfig(num_documents=1000, size_sigma=2.0)
+        catalog = build_catalog(cfg, seed=4)
+        assert (catalog.sizes >= 1).all()
+
+    def test_heavy_tail(self):
+        cfg = DocumentConfig(num_documents=5000, size_sigma=1.2)
+        catalog = build_catalog(cfg, seed=5)
+        sizes = np.asarray(catalog.sizes, dtype=float)
+        assert sizes.max() > 10 * np.median(sizes)
+
+    def test_reproducible(self):
+        cfg = DocumentConfig(num_documents=50)
+        a = build_catalog(cfg, seed=6)
+        b = build_catalog(cfg, seed=6)
+        assert np.array_equal(a.sizes, b.sizes)

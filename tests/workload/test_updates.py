@@ -1,0 +1,74 @@
+"""Tests for update-log generation."""
+
+import numpy as np
+import pytest
+
+from repro.config import DocumentConfig, WorkloadConfig
+from repro.errors import WorkloadError
+from repro.workload import build_catalog
+from repro.workload.updates import generate_update_log
+
+
+@pytest.fixture
+def catalog():
+    return build_catalog(
+        DocumentConfig(num_documents=50, dynamic_fraction=0.4), seed=1
+    )
+
+
+def config(**overrides):
+    defaults = dict(
+        documents=DocumentConfig(num_documents=50, dynamic_fraction=0.4),
+        mean_update_interarrival_ms=100.0,
+    )
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+class TestGenerateUpdateLog:
+    def test_time_sorted_within_horizon(self, catalog, rng):
+        records = generate_update_log(catalog, config(), 10_000.0, rng)
+        times = [r.timestamp_ms for r in records]
+        assert times == sorted(times)
+        assert all(0 < t <= 10_000.0 for t in times)
+
+    def test_only_dynamic_documents(self, catalog, rng):
+        records = generate_update_log(catalog, config(), 20_000.0, rng)
+        dynamic = set(catalog.dynamic_ids())
+        assert records, "expected some updates"
+        assert all(r.doc_id in dynamic for r in records)
+
+    def test_rate_matches_interarrival(self, catalog, rng):
+        records = generate_update_log(catalog, config(), 50_000.0, rng)
+        assert len(records) == pytest.approx(500, rel=0.3)
+
+    def test_no_dynamic_documents_empty_log(self, rng):
+        static_catalog = build_catalog(
+            DocumentConfig(num_documents=10, dynamic_fraction=0.0), seed=2
+        )
+        records = generate_update_log(
+            static_catalog, config(), 10_000.0, rng
+        )
+        assert records == []
+
+    def test_zipf_update_targets(self, catalog, rng):
+        """Hot dynamic documents get updated most."""
+        records = generate_update_log(catalog, config(), 200_000.0, rng)
+        counts = np.bincount(
+            [r.doc_id for r in records], minlength=len(catalog)
+        )
+        dynamic = catalog.dynamic_ids()
+        assert counts[dynamic[0]] > counts[dynamic[-1]]
+
+    def test_bad_horizon_rejected(self, catalog, rng):
+        with pytest.raises(WorkloadError):
+            generate_update_log(catalog, config(), 0.0, rng)
+
+    def test_reproducible(self, catalog):
+        a = generate_update_log(
+            catalog, config(), 5_000.0, np.random.default_rng(3)
+        )
+        b = generate_update_log(
+            catalog, config(), 5_000.0, np.random.default_rng(3)
+        )
+        assert a == b
