@@ -22,6 +22,8 @@ examples:
 suite:
 	$(PYTHON) -m repro.cli experiment all --out-dir results/
 
+# Deliberately leaves results/ alone: it holds committed reference
+# outputs of the figure suite, not build artifacts.
 clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks results
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -64,17 +64,50 @@ def test_full_sl_scheme_100_caches(benchmark, network100):
     assert result.num_groups <= 10
 
 
-def test_simulator_throughput(benchmark, network100):
-    """Requests per second through the event loop (one giant group,
-    worst case for directory sizes)."""
-    workload = generate_workload(
-        network100.cache_nodes,
+def _throughput_workload(network):
+    return generate_workload(
+        network.cache_nodes,
         WorkloadConfig(
             documents=DocumentConfig(num_documents=300),
             requests_per_cache=100,
         ),
         seed=9,
     )
+
+
+def test_simulator_throughput(benchmark, network100):
+    """Requests per second through the event loop (one giant group,
+    worst case for directory sizes).
+
+    This is also the observability layer's no-overhead anchor: the
+    default run passes no observer, so any measurable slowdown here
+    relative to the seed means the disabled-instrument fast path
+    regressed (compare against ``test_simulator_throughput_instrumented``
+    for the cost of tracing + sampling).
+    """
+    workload = _throughput_workload(network100)
     grouping = single_group(network100.cache_nodes)
     result = benchmark(simulate, network100, grouping, workload)
     assert result.metrics.total_requests() > 0
+
+
+def test_simulator_throughput_instrumented(benchmark, network100):
+    """Same event loop with tracing and sampling enabled — the price of
+    full instrumentation, to compare against the uninstrumented run."""
+    from repro.obs import MetricsSampler, Observer, TraceCollector
+
+    workload = _throughput_workload(network100)
+    grouping = single_group(network100.cache_nodes)
+
+    def run():
+        observer = Observer(
+            trace=TraceCollector(capacity=10_000),
+            sampler=MetricsSampler(interval_ms=1_000.0),
+        )
+        return simulate(
+            network100, grouping, workload, observer=observer
+        )
+
+    result = benchmark(run)
+    assert len(result.trace) > 0
+    assert len(result.timeseries()) > 0

@@ -1,15 +1,21 @@
 """Command-line interface.
 
-Four subcommands cover the operational workflow end to end::
+The subcommands cover the operational workflow end to end::
 
     repro network    --caches 100 --seed 7 --out net.npz
     repro form-groups --network net.npz --scheme SDSL --k 10 --out g.json
     repro simulate   --network net.npz --groups g.json --seed 7
+    repro simulate   --network net.npz --scheme SDSL --trace t.jsonl \\
+                     --sample-ms 1000 --manifest run.json
+    repro report     run.json
     repro experiment fig4 --repetitions 2 --plot
 
 ``repro experiment`` runs any registered paper-figure experiment and
 prints its table (optionally an ASCII sketch of the curves); results
-can be archived as JSON/CSV for later comparison.
+can be archived as JSON/CSV for later comparison.  ``repro simulate``
+optionally instruments the run (``--trace``, ``--sample-ms``,
+``--manifest``); ``repro report`` pretty-prints an archived manifest
+and its time-series summary.
 """
 
 from __future__ import annotations
@@ -81,7 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="simulate a grouped network under a workload"
     )
     sim.add_argument("--network", required=True)
-    sim.add_argument("--groups", required=True, help="JSON group table")
+    sim.add_argument(
+        "--groups",
+        help="JSON group table; omit to form groups in-process "
+             "(see --scheme/--k)",
+    )
+    sim.add_argument(
+        "--scheme", default="SDSL",
+        choices=["SL", "SDSL", "random-landmarks", "mindist-landmarks",
+                 "euclidean-gnp", "vivaldi"],
+        help="scheme for in-process group formation (without --groups)",
+    )
+    sim.add_argument(
+        "--k", type=int,
+        help="group count for in-process formation "
+             "(default: 10%% of caches)",
+    )
+    sim.add_argument("--landmarks", type=int, default=25)
     sim.add_argument("--seed", type=int, default=7)
     sim.add_argument("--requests-per-cache", type=int, default=150)
     sim.add_argument("--documents", type=int, default=400)
@@ -94,6 +116,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-stats", action="store_true",
         help="print workload statistics (Zipf fit, cache similarity)",
     )
+    sim.add_argument(
+        "--trace", metavar="PATH",
+        help="record a per-request JSONL trace to PATH",
+    )
+    sim.add_argument(
+        "--trace-capacity", type=int, metavar="N",
+        help="keep only the most recent N trace records (ring buffer)",
+    )
+    sim.add_argument(
+        "--sample-ms", type=float, metavar="MS",
+        help="sample windowed time-series metrics every MS simulated ms",
+    )
+    sim.add_argument(
+        "--manifest", metavar="PATH",
+        help="write a run manifest (config, phase timings, time series)",
+    )
+
+    rep = sub.add_parser(
+        "report", help="pretty-print an archived run manifest"
+    )
+    rep.add_argument("manifest", help="manifest JSON written by --manifest")
 
     exp = sub.add_parser(
         "experiment", help="run a registered paper-figure experiment"
@@ -161,26 +204,69 @@ def _cmd_form_groups(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    network = load_network(args.network)
-    grouping = load_grouping(args.groups)
-    workload = generate_workload(
-        network.cache_nodes,
-        WorkloadConfig(
-            documents=DocumentConfig(num_documents=args.documents),
-            requests_per_cache=args.requests_per_cache,
-        ),
-        seed=args.seed,
-    )
-    if args.trace_stats:
-        from repro.workload.stats import summarize_trace
+def _build_observer(args: argparse.Namespace):
+    """Assemble the Observer requested by the CLI flags (or None)."""
+    from repro.obs import MetricsSampler, Observer, TraceCollector
 
-        print(f"workload: {summarize_trace(workload.requests)}")
-    result = simulate(network, grouping, workload)
+    trace = None
+    if args.trace or args.trace_capacity is not None:
+        trace = TraceCollector(capacity=args.trace_capacity)
+    sampler = None
+    if args.sample_ms is not None:
+        sampler = MetricsSampler(interval_ms=args.sample_ms)
+    if trace is None and sampler is None and args.manifest:
+        # A manifest alone still wants throughput numbers; an empty
+        # observer keeps the engine's bookkeeping on.
+        return Observer()
+    if trace is None and sampler is None:
+        return None
+    return Observer(trace=trace, sampler=sampler)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.obs import PhaseRegistry, activate, build_manifest, phase_timer
+
+    registry = PhaseRegistry()
+    with activate(registry):
+        network = load_network(args.network)
+        if args.groups:
+            grouping = load_grouping(args.groups)
+        else:
+            k = args.k or max(1, network.num_caches // 10)
+            landmarks = min(args.landmarks, network.num_caches + 1)
+            if args.scheme == "vivaldi":
+                scheme = scheme_by_name(args.scheme)
+            else:
+                scheme = scheme_by_name(
+                    args.scheme,
+                    landmark_config=LandmarkConfig(num_landmarks=landmarks),
+                )
+            with phase_timer("form_groups"):
+                grouping = scheme.form_groups(network, k, seed=args.seed)
+            print(
+                f"formed {grouping.num_groups} {grouping.scheme} groups "
+                f"(k={k})"
+            )
+        with phase_timer("workload"):
+            workload = generate_workload(
+                network.cache_nodes,
+                WorkloadConfig(
+                    documents=DocumentConfig(num_documents=args.documents),
+                    requests_per_cache=args.requests_per_cache,
+                ),
+                seed=args.seed,
+            )
+        if args.trace_stats:
+            from repro.workload.stats import summarize_trace
+
+            print(f"workload: {summarize_trace(workload.requests)}")
+        observer = _build_observer(args)
+        result = simulate(network, grouping, workload, observer=observer)
     rates = result.hit_rates()
     table = Table(["metric", "value"])
     table.add_row(["requests", result.metrics.total_requests()])
     table.add_row(["avg latency (ms)", result.average_latency_ms()])
+    table.add_row(["p95 latency (ms)", result.metrics.latency_p95_ms()])
     table.add_row(["local hit share", rates["local"]])
     table.add_row(["group hit share", rates["group"]])
     table.add_row(["origin share", rates["origin"]])
@@ -197,6 +283,88 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.export_csv:
         export_cache_stats(result.metrics, args.export_csv)
         print(f"wrote {args.export_csv}")
+    if observer is not None and observer.trace is not None and args.trace:
+        count = observer.trace.write_jsonl(args.trace)
+        print(f"wrote {count} trace records to {args.trace}")
+    if args.manifest:
+        from repro.persist import save_manifest
+
+        totals = {
+            "requests": float(result.metrics.total_requests()),
+            "avg_latency_ms": result.average_latency_ms(),
+            "p95_latency_ms": result.metrics.latency_p95_ms(),
+            "hit_rate_local": rates["local"],
+            "hit_rate_group": rates["group"],
+            "hit_rate_origin": rates["origin"],
+        }
+        manifest = build_manifest(
+            label=f"simulate:{grouping.scheme}",
+            seed=args.seed,
+            registry=registry,
+            observer=observer,
+            totals=totals,
+            trace_path=args.trace,
+        )
+        if grouping.phase_timings:
+            manifest.phase_timings_s.update({
+                f"gf/{name}": seconds
+                for name, seconds in grouping.phase_timings.items()
+            })
+        manifest.config = {
+            "network": args.network,
+            "scheme": grouping.scheme,
+            "num_groups": grouping.num_groups,
+            "requests_per_cache": args.requests_per_cache,
+            "documents": args.documents,
+            "sample_ms": args.sample_ms,
+            "trace_capacity": args.trace_capacity,
+        }
+        save_manifest(manifest, args.manifest)
+        print(f"wrote manifest to {args.manifest}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.persist import load_manifest
+
+    manifest = load_manifest(args.manifest)
+    info = Table(["field", "value"])
+    info.add_row(["label", manifest.label])
+    info.add_row(["version", manifest.version])
+    if manifest.seed is not None:
+        info.add_row(["seed", manifest.seed])
+    for key in sorted(manifest.config):
+        info.add_row([f"config.{key}", str(manifest.config[key])])
+    for key in sorted(manifest.totals):
+        info.add_row([key, manifest.totals[key]])
+    for key in sorted(manifest.run_stats):
+        info.add_row([key, manifest.run_stats[key]])
+    for key in sorted(manifest.trace_info):
+        info.add_row([f"trace.{key}", str(manifest.trace_info[key])])
+    print(info.render())
+
+    if manifest.phase_timings_s:
+        print()
+        phases = Table(["phase", "seconds"], float_format="{:.4f}")
+        for name in sorted(manifest.phase_timings_s):
+            phases.add_row([name, manifest.phase_timings_s[name]])
+        print(phases.render())
+
+    if manifest.timeseries is not None and len(manifest.timeseries) > 0:
+        series = manifest.timeseries
+        print()
+        ts = Table(["series", "first", "mean", "last", "max"])
+        for name in ("hit_rate", "request_rate_rps", "origin_rate_rps",
+                     "mean_latency_ms", "p95_latency_ms",
+                     "origin_utilisation", "cache_occupancy"):
+            column = getattr(series, name)
+            ts.add_row([
+                name, column[0], float(column.mean()), column[-1],
+                float(column.max()),
+            ])
+        print(f"time series: {len(series)} samples, "
+              f"{series.time_ms[0]:.0f}..{series.time_ms[-1]:.0f} ms")
+        print(ts.render())
     return 0
 
 
@@ -262,6 +430,7 @@ _COMMANDS = {
     "network": _cmd_network,
     "form-groups": _cmd_form_groups,
     "simulate": _cmd_simulate,
+    "report": _cmd_report,
     "experiment": _cmd_experiment,
     "compare": _cmd_compare,
 }

@@ -26,6 +26,7 @@ from repro.config import KMeansConfig
 from repro.clustering.assignments import Clustering
 from repro.clustering.init import CenterInitializer, UniformRandomInit
 from repro.errors import ClusteringError
+from repro.obs.profiling import phase_timer
 from repro.utils.rng import SeedLike, spawn_rng
 
 
@@ -78,10 +79,11 @@ class KMeans:
             )
         rng = spawn_rng(seed)
         best: Optional[Clustering] = None
-        for _ in range(self._config.restarts):
-            candidate = self._fit_once(points, rng)
-            if best is None or candidate.sse < best.sse:
-                best = candidate
+        with phase_timer("cluster/kmeans"):
+            for _ in range(self._config.restarts):
+                candidate = self._fit_once(points, rng)
+                if best is None or candidate.sse < best.sse:
+                    best = candidate
         assert best is not None  # restarts >= 1
         return best
 

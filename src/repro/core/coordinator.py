@@ -10,7 +10,9 @@ intermediate state.
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
@@ -21,6 +23,7 @@ from repro.core.groups import GroupingResult, groups_from_labels
 from repro.errors import SchemeError
 from repro.landmarks.base import LandmarkSelector, LandmarkSet
 from repro.landmarks.feature_vectors import FeatureVectors, build_feature_vectors
+from repro.obs.profiling import PhaseRegistry, activate, current_registry
 from repro.probing.prober import Prober
 from repro.topology.network import EdgeCacheNetwork
 from repro.utils.rng import RngFactory, SeedLike
@@ -50,6 +53,7 @@ class GFCoordinator:
             config=probe_config,
             seed=self._rng_factory.stream("probe"),
         )
+        self._phases = PhaseRegistry()
 
     @property
     def network(self) -> EdgeCacheNetwork:
@@ -58,6 +62,37 @@ class GFCoordinator:
     @property
     def prober(self) -> Prober:
         return self._prober
+
+    @property
+    def phases(self) -> PhaseRegistry:
+        """Per-phase timings of this coordinator's pipeline steps."""
+        return self._phases
+
+    def phase_timings(self) -> Dict[str, float]:
+        """Qualified phase name -> total seconds spent so far."""
+        return self._phases.total_seconds()
+
+    @contextmanager
+    def _timed(self, step: str) -> Iterator[None]:
+        """Record ``step`` into this coordinator's registry.
+
+        If a caller already activated an ambient registry (CLI or
+        experiment-suite profiling), the fine-grained inner timers keep
+        recording into it; the coordinator's own registry then mirrors
+        the step totals so ``phase_timings()`` stays meaningful either
+        way.
+        """
+        ambient = current_registry()
+        if ambient is None:
+            with activate(self._phases), self._phases.time(step):
+                yield
+            return
+        start = time.perf_counter()
+        try:
+            with ambient.time(step):
+                yield
+        finally:
+            self._phases.merge_totals({step: time.perf_counter() - start})
 
     # -- step 1 ----------------------------------------------------------
 
@@ -68,15 +103,17 @@ class GFCoordinator:
     ) -> LandmarkSet:
         """Step 1: run a landmark selector over the network."""
         config = config or LandmarkConfig()
-        return selector.select(
-            self._prober, config, self._rng_factory.stream("landmarks")
-        )
+        with self._timed("landmarks"):
+            return selector.select(
+                self._prober, config, self._rng_factory.stream("landmarks")
+            )
 
     # -- step 2 ----------------------------------------------------------
 
     def build_features(self, landmarks: LandmarkSet) -> FeatureVectors:
         """Step 2: every cache probes every landmark."""
-        return build_feature_vectors(self._prober, landmarks)
+        with self._timed("features"):
+            return build_feature_vectors(self._prober, landmarks)
 
     def measured_server_distances(self, features: FeatureVectors) -> np.ndarray:
         """Per-cache measured RTT to the origin, extracted from features.
@@ -124,7 +161,10 @@ class GFCoordinator:
             config=kmeans_config,
             initializer=initializer or UniformRandomInit(),
         )
-        clustering = kmeans.fit(data, seed=self._rng_factory.stream("kmeans"))
+        with self._timed("cluster"):
+            clustering = kmeans.fit(
+                data, seed=self._rng_factory.stream("kmeans")
+            )
         groups = groups_from_labels(list(features.nodes), clustering.labels)
         return GroupingResult(
             scheme=scheme_name,
@@ -132,4 +172,5 @@ class GFCoordinator:
             landmarks=features.landmarks,
             features=features,
             clustering=clustering,
+            phase_timings=self.phase_timings(),
         )

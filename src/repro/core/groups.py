@@ -67,6 +67,11 @@ class GroupingResult:
     landmarks: Optional[LandmarkSet] = None
     features: Optional[FeatureVectors] = field(default=None, repr=False)
     clustering: Optional[Clustering] = field(default=None, repr=False)
+    #: GF-Coordinator phase name -> seconds (set by coordinator runs;
+    #: None for trivial/loaded groupings)
+    phase_timings: Optional[Dict[str, float]] = field(
+        default=None, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not self.groups:

@@ -19,6 +19,7 @@ from repro.config import (
     WorkloadConfig,
 )
 from repro.core.groups import GroupingResult
+from repro.obs.profiling import phase_timer
 from repro.simulator.runner import SimulationResult, simulate
 from repro.topology.network import EdgeCacheNetwork, build_network
 from repro.utils.rng import RngFactory
@@ -75,14 +76,16 @@ def build_testbed(
 ) -> Testbed:
     """Build a network and matching workload from one experiment seed."""
     factory = RngFactory(seed)
-    network = build_network(
-        num_caches=num_caches, seed=factory.stream("topology")
-    )
-    workload = generate_workload(
-        network.cache_nodes,
-        default_workload_config(requests_per_cache, num_documents),
-        seed=factory.stream("workload"),
-    )
+    with phase_timer("testbed/network"):
+        network = build_network(
+            num_caches=num_caches, seed=factory.stream("topology")
+        )
+    with phase_timer("testbed/workload"):
+        workload = generate_workload(
+            network.cache_nodes,
+            default_workload_config(requests_per_cache, num_documents),
+            seed=factory.stream("workload"),
+        )
     return Testbed(network=network, workload=workload, seed=seed)
 
 
@@ -92,6 +95,7 @@ def run_simulation(
     config: Optional[SimulationConfig] = None,
 ) -> SimulationResult:
     """Simulate one grouping over the testbed's workload."""
-    return simulate(
-        testbed.network, grouping, testbed.workload, config=config
-    )
+    with phase_timer("simulate"):
+        return simulate(
+            testbed.network, grouping, testbed.workload, config=config
+        )

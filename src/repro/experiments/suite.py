@@ -3,12 +3,15 @@
 ``run_suite`` executes every registered experiment, writes each result
 as JSON and CSV into an output directory, and produces a markdown
 summary (one table per figure) — the artifact a reproduction run leaves
-behind.  The CLI exposes it as ``repro experiment all``.
+behind.  Each archived figure also gets a ``<fig>.manifest.json`` run
+manifest carrying the seed/scale arguments and the per-phase timings
+(testbed build, scheme runs, simulation) collected while it ran.  The
+CLI exposes it as ``repro experiment all``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
@@ -16,7 +19,9 @@ from repro.analysis.export import export_experiment_result
 from repro.analysis.report import ExperimentResult
 from repro.errors import ReproError
 from repro.experiments.registry import REGISTRY
-from repro.persist import save_result
+from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.profiling import PhaseRegistry, activate
+from repro.persist import save_manifest, save_result
 
 PathLike = Union[str, Path]
 
@@ -32,6 +37,7 @@ class SuiteRun:
 
     results: Dict[str, ExperimentResult]
     output_dir: Optional[Path]
+    manifests: Dict[str, RunManifest] = field(default_factory=dict)
 
     def summary_markdown(self) -> str:
         """A markdown report with one section per figure."""
@@ -73,6 +79,7 @@ def run_suite(
         out_path.mkdir(parents=True, exist_ok=True)
 
     results: Dict[str, ExperimentResult] = {}
+    manifests: Dict[str, RunManifest] = {}
     for experiment_id in selected:
         kwargs = {}
         if paper_scale:
@@ -81,15 +88,25 @@ def run_suite(
             kwargs["seed"] = seed
         if repetitions is not None and experiment_id in _SUPPORTS_REPETITIONS:
             kwargs["repetitions"] = repetitions
-        result = REGISTRY[experiment_id](**kwargs)
+        registry = PhaseRegistry()
+        with activate(registry), registry.time(experiment_id):
+            result = REGISTRY[experiment_id](**kwargs)
         results[experiment_id] = result
+        manifest = build_manifest(
+            label=experiment_id, seed=seed, registry=registry
+        )
+        manifest.config = {k: v for k, v in kwargs.items()}
+        manifests[experiment_id] = manifest
         if out_path is not None:
             save_result(result, out_path / f"{experiment_id}.json")
             export_experiment_result(
                 result, out_path / f"{experiment_id}.csv"
             )
+            save_manifest(
+                manifest, out_path / f"{experiment_id}.manifest.json"
+            )
 
-    run = SuiteRun(results=results, output_dir=out_path)
+    run = SuiteRun(results=results, output_dir=out_path, manifests=manifests)
     if out_path is not None:
         (out_path / "summary.md").write_text(
             run.summary_markdown(), encoding="utf-8"

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import LandmarkSelectionError
 from repro.landmarks.base import LandmarkSet
+from repro.obs.profiling import phase_timer
 from repro.probing.prober import Prober
 from repro.types import NodeId
 
@@ -82,6 +83,10 @@ def build_feature_vectors(
         raise LandmarkSelectionError("need at least one node to position")
     matrix = np.empty((len(nodes), len(landmarks)), dtype=float)
     landmark_list: List[NodeId] = list(landmarks)
-    for i, node in enumerate(nodes):
-        matrix[i] = prober.measure_many(node, landmark_list)
-    return FeatureVectors(nodes=tuple(nodes), landmarks=landmarks, matrix=matrix)
+    with phase_timer("features/probe"):
+        for i, node in enumerate(nodes):
+            matrix[i] = prober.measure_many(node, landmark_list)
+    with phase_timer("features/build"):
+        return FeatureVectors(
+            nodes=tuple(nodes), landmarks=landmarks, matrix=matrix
+        )

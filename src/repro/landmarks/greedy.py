@@ -22,6 +22,7 @@ import numpy as np
 from repro.config import LandmarkConfig
 from repro.errors import LandmarkSelectionError
 from repro.landmarks.base import LandmarkSelector, LandmarkSet, min_pairwise
+from repro.obs.profiling import phase_timer
 from repro.probing.prober import Prober
 from repro.types import ORIGIN_NODE_ID, NodeId
 
@@ -39,7 +40,8 @@ class GreedyMaxMinSelector(LandmarkSelector):
     ) -> LandmarkSet:
         self._check_feasible(prober, config)
         caches = self._candidate_caches(prober)
-        plset = sample_potential_landmarks(caches, config, rng)
+        with phase_timer("landmarks/potential"):
+            plset = sample_potential_landmarks(caches, config, rng)
         return self.select_from_potential(prober, config, plset)
 
     def select_from_potential(
@@ -61,17 +63,19 @@ class GreedyMaxMinSelector(LandmarkSelector):
         # Measured distances among {origin} ∪ PLSet.  Row/col 0 is the
         # origin; rows 1.. follow plset order.
         probe_nodes: List[NodeId] = [ORIGIN_NODE_ID, *plset]
-        measured = prober.measure_matrix(probe_nodes)
+        with phase_timer("landmarks/probe"):
+            measured = prober.measure_matrix(probe_nodes)
 
-        chosen_rows = [0]  # origin is always a landmark
-        candidate_rows = list(range(1, len(probe_nodes)))
-        while len(chosen_rows) < config.num_landmarks:
-            best_row = max(
-                candidate_rows,
-                key=lambda row: (measured[row, chosen_rows].min(), -row),
-            )
-            chosen_rows.append(best_row)
-            candidate_rows.remove(best_row)
+        with phase_timer("landmarks/greedy"):
+            chosen_rows = [0]  # origin is always a landmark
+            candidate_rows = list(range(1, len(probe_nodes)))
+            while len(chosen_rows) < config.num_landmarks:
+                best_row = max(
+                    candidate_rows,
+                    key=lambda row: (measured[row, chosen_rows].min(), -row),
+                )
+                chosen_rows.append(best_row)
+                candidate_rows.remove(best_row)
 
         nodes = tuple(probe_nodes[row] for row in chosen_rows)
         objective = min_pairwise(measured[np.ix_(chosen_rows, chosen_rows)])

@@ -1,0 +1,66 @@
+"""Observability: request tracing, sampled time series, phase profiling.
+
+Three instrument types, all opt-in and all off by default:
+
+* **event tracing** — :class:`TraceCollector` records one structured
+  :class:`TraceRecord` per served request (plus cache fail/recover and
+  origin-update events), either unbounded or as a fixed-capacity ring
+  buffer, with a JSONL sink and :func:`replay_hit_rates` as the
+  aggregate-consistency anchor;
+* **sampled time-series metrics** — :class:`MetricsSampler` snapshots
+  windowed hit rate, per-path request rates, latency mean/p95, origin
+  load, and cache occupancy at a fixed simulated-time interval,
+  exposed as a columnar numpy :class:`TimeSeries`;
+* **profiling** — :func:`phase_timer` / :class:`PhaseRegistry` time the
+  GF-Coordinator stages and the engine event loop, folded into a
+  per-run :class:`RunManifest`.
+
+The engine sees all of this through one :class:`Observer`; the shared
+:data:`NULL_OBSERVER` keeps uninstrumented runs at seed speed.
+"""
+
+from repro.obs.manifest import RunManifest, build_manifest, config_to_dict
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.profiling import (
+    PhaseRegistry,
+    PhaseTiming,
+    activate,
+    current_registry,
+    phase_timer,
+)
+from repro.obs.sampler import SERIES_FIELDS, MetricsSampler, Sample, TimeSeries
+from repro.obs.trace import (
+    KIND_CACHE_FAIL,
+    KIND_CACHE_RECOVER,
+    KIND_ORIGIN_UPDATE,
+    KIND_REQUEST,
+    TraceCollector,
+    TraceRecord,
+    read_jsonl,
+    replay_hit_rates,
+)
+
+__all__ = [
+    "Observer",
+    "NULL_OBSERVER",
+    "TraceCollector",
+    "TraceRecord",
+    "KIND_REQUEST",
+    "KIND_CACHE_FAIL",
+    "KIND_CACHE_RECOVER",
+    "KIND_ORIGIN_UPDATE",
+    "read_jsonl",
+    "replay_hit_rates",
+    "MetricsSampler",
+    "Sample",
+    "TimeSeries",
+    "SERIES_FIELDS",
+    "PhaseRegistry",
+    "PhaseTiming",
+    "phase_timer",
+    "activate",
+    "current_registry",
+    "RunManifest",
+    "build_manifest",
+    "config_to_dict",
+]

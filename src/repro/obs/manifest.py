@@ -1,0 +1,124 @@
+"""Per-run manifests: what ran, how long each phase took, what came out.
+
+A :class:`RunManifest` is the machine-readable record a run leaves
+behind next to its outputs: the configuration and seed, the package
+version, per-phase GF-Coordinator/simulator timings, event-loop
+throughput, trace bookkeeping (record counts, ring-buffer drops, peak
+size), headline aggregates, and (optionally) the full sampled time
+series.  ``repro.persist.results`` owns the on-disk JSON format;
+``repro report`` pretty-prints one back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+from repro.obs.observer import Observer
+from repro.obs.profiling import PhaseRegistry
+from repro.obs.sampler import TimeSeries
+
+
+def _package_version() -> str:
+    # Resolved lazily so importing repro.obs never races the package's
+    # own __init__ (which does not re-export obs for the same reason).
+    from repro import __version__
+
+    return __version__
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to identify, profile, and compare one run."""
+
+    label: str
+    version: str = field(default_factory=_package_version)
+    created_unix: float = field(default_factory=time.time)
+    seed: Optional[int] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+    #: qualified phase name -> total seconds
+    phase_timings_s: Dict[str, float] = field(default_factory=dict)
+    #: event-loop throughput etc. (``events``, ``events_per_sec``, ...)
+    run_stats: Dict[str, float] = field(default_factory=dict)
+    #: headline aggregates (requests, hit rates, latency percentiles)
+    totals: Dict[str, float] = field(default_factory=dict)
+    #: trace bookkeeping (records, dropped, peak_size, path)
+    trace_info: Dict[str, Any] = field(default_factory=dict)
+    timeseries: Optional[TimeSeries] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["timeseries"] = (
+            self.timeseries.to_dict() if self.timeseries is not None else None
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunManifest":
+        data = dict(payload)
+        series = data.pop("timeseries", None)
+        try:
+            manifest = cls(**data)
+        except TypeError as exc:
+            raise ReproError(f"malformed manifest payload: {exc}") from exc
+        if series is not None:
+            manifest.timeseries = TimeSeries.from_dict(series)
+        return manifest
+
+
+def config_to_dict(config: Any) -> Dict[str, Any]:
+    """Flatten a (possibly nested) config dataclass into plain JSON types."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return {
+            f.name: config_to_dict(getattr(config, f.name))
+            for f in dataclasses.fields(config)
+        }
+    return config
+
+
+def build_manifest(
+    label: str,
+    seed: Optional[int] = None,
+    config: Any = None,
+    registry: Optional[PhaseRegistry] = None,
+    observer: Optional[Observer] = None,
+    totals: Optional[Dict[str, float]] = None,
+    trace_path: Optional[str] = None,
+) -> RunManifest:
+    """Assemble a manifest from the run's observability artefacts.
+
+    ``registry`` supplies phase timings, ``observer`` supplies run
+    stats, trace bookkeeping, and the sampled time series; every part is
+    optional so partially-instrumented runs still get a manifest.
+    """
+    manifest = RunManifest(label=label, seed=seed)
+    if config is not None:
+        flattened = config_to_dict(config)
+        if not isinstance(flattened, dict):
+            raise ReproError(
+                f"manifest config must be a dataclass or mapping, "
+                f"got {type(config).__name__}"
+            )
+        manifest.config = flattened
+    if registry is not None:
+        manifest.phase_timings_s = registry.total_seconds()
+    if totals is not None:
+        manifest.totals = dict(totals)
+    if observer is not None:
+        manifest.run_stats = dict(observer.run_stats)
+        if observer.trace is not None:
+            manifest.trace_info = {
+                "records": len(observer.trace),
+                "total_recorded": observer.trace.total_recorded,
+                "dropped": observer.trace.dropped,
+                "peak_size": observer.trace.peak_size,
+                "capacity": observer.trace.capacity,
+            }
+            if trace_path is not None:
+                manifest.trace_info["path"] = str(trace_path)
+        if observer.sampler is not None:
+            manifest.timeseries = observer.sampler.series()
+    return manifest

@@ -1,0 +1,111 @@
+"""The :class:`Observer` — single gate between the engine and instruments.
+
+The engine holds exactly one observer.  When no instrument is attached,
+:attr:`Observer.active` is False and the engine's per-event fast path is
+a single cached boolean check — the null object costs nothing, which is
+what keeps default (uninstrumented) runs at seed speed.  When tracing
+and/or sampling are enabled, the observer fans each engine callback out
+to the attached :class:`~repro.obs.trace.TraceCollector` and
+:class:`~repro.obs.sampler.MetricsSampler`, and collects freeform run
+statistics (event-loop throughput) for the manifest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.obs.sampler import MetricsSampler
+from repro.obs.trace import (
+    KIND_CACHE_FAIL,
+    KIND_CACHE_RECOVER,
+    KIND_ORIGIN_UPDATE,
+    KIND_REQUEST,
+    TraceCollector,
+    TraceRecord,
+)
+
+if TYPE_CHECKING:  # imported lazily: obs must not pull in the simulator
+    from repro.simulator.latency import ServiceAccount
+
+
+class Observer:
+    """Bundles the optional per-run instruments behind one interface."""
+
+    def __init__(
+        self,
+        trace: Optional[TraceCollector] = None,
+        sampler: Optional[MetricsSampler] = None,
+    ) -> None:
+        self.trace = trace
+        self.sampler = sampler
+        #: freeform run statistics (events/sec, event counts, ...)
+        self.run_stats: Dict[str, float] = {}
+
+    @property
+    def active(self) -> bool:
+        """Whether any per-request instrument is attached."""
+        return self.trace is not None or self.sampler is not None
+
+    # -- engine callbacks -------------------------------------------------
+
+    def on_request(
+        self,
+        now_ms: float,
+        cache: int,
+        doc_id: int,
+        account: "ServiceAccount",
+        messages: int,
+        size_bytes: int,
+        counted: bool,
+        stale: bool,
+    ) -> None:
+        """One served request (called for warm-up requests too)."""
+        if self.sampler is not None:
+            self.sampler.observe_request(
+                account.path.value, account.total_ms, counted
+            )
+        if self.trace is not None:
+            self.trace.record(TraceRecord(
+                kind=KIND_REQUEST,
+                timestamp_ms=now_ms,
+                cache=cache,
+                doc_id=doc_id,
+                path=account.path.value,
+                total_ms=account.total_ms,
+                query_ms=account.query_ms,
+                fetch_ms=account.fetch_ms,
+                transfer_ms=account.transfer_ms,
+                messages=messages,
+                size_bytes=size_bytes,
+                counted=counted,
+                stale=stale,
+            ))
+
+    def on_cache_fail(self, now_ms: float, cache: int) -> None:
+        if self.trace is not None:
+            self.trace.record(TraceRecord(
+                kind=KIND_CACHE_FAIL, timestamp_ms=now_ms, cache=cache
+            ))
+
+    def on_cache_recover(self, now_ms: float, cache: int) -> None:
+        if self.trace is not None:
+            self.trace.record(TraceRecord(
+                kind=KIND_CACHE_RECOVER, timestamp_ms=now_ms, cache=cache
+            ))
+
+    def on_origin_update(self, now_ms: float, doc_id: int) -> None:
+        if self.trace is not None:
+            self.trace.record(TraceRecord(
+                kind=KIND_ORIGIN_UPDATE, timestamp_ms=now_ms, doc_id=doc_id
+            ))
+
+    def note_throughput(self, events: int, elapsed_s: float) -> None:
+        """Record event-loop throughput for the run manifest."""
+        self.run_stats["events"] = float(events)
+        self.run_stats["elapsed_s"] = elapsed_s
+        if elapsed_s > 0:
+            self.run_stats["events_per_sec"] = events / elapsed_s
+
+
+#: Shared do-nothing observer used when no instruments are requested.
+NULL_OBSERVER = Observer()

@@ -1,0 +1,112 @@
+"""Phase timing for the GF-Coordinator pipeline and the simulator.
+
+A :class:`PhaseRegistry` accumulates wall-clock time per named phase;
+:func:`phase_timer` is the context manager instrumented code wraps its
+stages in.  Timers are *ambient*: a registry is activated for a dynamic
+extent (:func:`activate`) and every ``phase_timer`` inside that extent
+records into it.  When no registry is active, ``phase_timer`` is a
+no-op whose cost is one context-variable lookup — cheap enough to leave
+permanently in pipeline-stage code (it is **not** meant for per-request
+hot loops; the simulator's per-request hooks go through the
+:class:`repro.obs.observer.Observer` null-object instead).
+
+Nested timers produce slash-qualified names: timing ``"probe"`` inside
+an active ``"landmarks"`` phase records under ``"landmarks/probe"`` (and
+the inner time is *also* part of the outer phase's total, as wall-clock
+nesting implies).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class PhaseTiming:
+    """Accumulated timing of one named phase."""
+
+    calls: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    def record(self, elapsed_s: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
+
+class PhaseRegistry:
+    """Accumulates :class:`PhaseTiming` entries by qualified phase name."""
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, PhaseTiming] = {}
+        self._stack: List[str] = []
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Time one phase; nests under any currently-open phase."""
+        qualified = "/".join([*self._stack, name])
+        self._stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            self._phases.setdefault(qualified, PhaseTiming()).record(elapsed)
+
+    def timings(self) -> Dict[str, PhaseTiming]:
+        """Snapshot of phase name -> accumulated timing."""
+        return dict(self._phases)
+
+    def total_seconds(self) -> Dict[str, float]:
+        """Phase name -> total seconds, JSON-friendly."""
+        return {name: t.total_s for name, t in self._phases.items()}
+
+    def merge_totals(self, totals: Dict[str, float]) -> None:
+        """Fold a ``name -> seconds`` mapping into this registry."""
+        for name, seconds in totals.items():
+            timing = self._phases.setdefault(name, PhaseTiming())
+            timing.record(seconds)
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._phases
+
+
+_ACTIVE: ContextVar[Optional[PhaseRegistry]] = ContextVar(
+    "repro_obs_phase_registry", default=None
+)
+
+
+def current_registry() -> Optional[PhaseRegistry]:
+    """The registry ``phase_timer`` currently records into, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate(registry: PhaseRegistry) -> Iterator[PhaseRegistry]:
+    """Make ``registry`` the ambient target of ``phase_timer`` calls."""
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def phase_timer(name: str) -> Iterator[None]:
+    """Time the enclosed block into the ambient registry (no-op if none)."""
+    registry = _ACTIVE.get()
+    if registry is None:
+        yield
+        return
+    with registry.time(name):
+        yield

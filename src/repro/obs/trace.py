@@ -1,0 +1,188 @@
+"""Per-request event tracing with a bounded ring-buffer option.
+
+One :class:`TraceRecord` is produced per served request (plus records
+for cache failures/recoveries and origin updates), carrying the full
+latency decomposition from :class:`repro.simulator.latency.ServiceAccount`.
+The collector either keeps everything (``capacity=None``) or acts as a
+ring buffer of the most recent ``capacity`` records, so tracing a
+10^5-request run stays O(capacity) in memory while ``dropped`` counts
+what scrolled off.
+
+Traces round-trip through JSONL (:meth:`TraceCollector.write_jsonl` /
+:func:`read_jsonl`), and :func:`replay_hit_rates` re-derives the
+network-wide hit-rate decomposition from a trace — by construction it
+must match :meth:`repro.simulator.metrics.SimulationMetrics.hit_rates`
+for the same run, which is the trace's correctness anchor.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Deque, Dict, Iterable, List, Optional, Union
+
+from repro.errors import SimulationError
+
+PathLike = Union[str, Path]
+
+#: record kinds a trace may contain
+KIND_REQUEST = "request"
+KIND_CACHE_FAIL = "cache_fail"
+KIND_CACHE_RECOVER = "cache_recover"
+KIND_ORIGIN_UPDATE = "origin_update"
+
+_KNOWN_KINDS = frozenset(
+    {KIND_REQUEST, KIND_CACHE_FAIL, KIND_CACHE_RECOVER, KIND_ORIGIN_UPDATE}
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace event.
+
+    Request records fill every field; fail/recover records carry only
+    ``cache``; origin-update records carry only ``doc_id``.
+    """
+
+    kind: str
+    timestamp_ms: float
+    cache: Optional[int] = None
+    doc_id: Optional[int] = None
+    #: :class:`ServicePath` value for requests ("local_hit" etc.)
+    path: Optional[str] = None
+    total_ms: Optional[float] = None
+    query_ms: Optional[float] = None
+    fetch_ms: Optional[float] = None
+    transfer_ms: Optional[float] = None
+    messages: Optional[int] = None
+    size_bytes: Optional[int] = None
+    #: False for warm-up requests (excluded from aggregate metrics)
+    counted: Optional[bool] = None
+    #: served from a copy older than the origin's version
+    stale: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KNOWN_KINDS:
+            raise SimulationError(f"unknown trace record kind {self.kind!r}")
+
+    def to_dict(self) -> Dict:
+        """JSON-ready dict with None fields dropped."""
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TraceRecord":
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise SimulationError(
+                f"malformed trace record {payload!r}: {exc}"
+            ) from exc
+
+
+class TraceCollector:
+    """Collects trace records, optionally as a fixed-capacity ring.
+
+    ``capacity=None`` keeps every record; an integer capacity keeps the
+    most recent ``capacity`` records and counts evictions in
+    :attr:`dropped`.  :attr:`peak_size` reports the largest number of
+    records held at any point (== capacity once the ring wraps).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(
+                f"trace capacity must be >= 1 or None, got {capacity}"
+            )
+        self._capacity = capacity
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._dropped = 0
+        self._total = 0
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring buffer."""
+        return self._dropped
+
+    @property
+    def total_recorded(self) -> int:
+        """Every record ever offered, including dropped ones."""
+        return self._total
+
+    @property
+    def peak_size(self) -> int:
+        """Largest number of records held at once."""
+        return min(self._total, self._capacity or self._total)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, record: TraceRecord) -> None:
+        """Append one record, evicting the oldest at capacity."""
+        if (self._capacity is not None
+                and len(self._records) == self._capacity):
+            self._dropped += 1
+        self._records.append(record)
+        self._total += 1
+
+    def records(self) -> List[TraceRecord]:
+        """The held records, oldest first."""
+        return list(self._records)
+
+    def write_jsonl(self, path: PathLike) -> int:
+        """Write the held records as JSONL; returns the record count."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as f:
+            for record in self._records:
+                json.dump(record.to_dict(), f, sort_keys=True)
+                f.write("\n")
+                count += 1
+        return count
+
+
+def read_jsonl(path: PathLike) -> List[TraceRecord]:
+    """Read a JSONL trace written by :meth:`TraceCollector.write_jsonl`."""
+    records: List[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line_number, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SimulationError(
+                    f"{path}:{line_number} is not valid JSON: {exc}"
+                ) from exc
+            records.append(TraceRecord.from_dict(payload))
+    return records
+
+
+def replay_hit_rates(records: Iterable[TraceRecord]) -> Dict[str, float]:
+    """Re-derive the local/group/origin shares from a trace.
+
+    Counts only counted (post-warm-up) request records, exactly like
+    :meth:`SimulationMetrics.hit_rates`; raises if the trace holds none.
+    """
+    shares = {"local_hit": 0, "group_hit": 0, "origin_fetch": 0}
+    for record in records:
+        if record.kind != KIND_REQUEST or not record.counted:
+            continue
+        if record.path not in shares:
+            raise SimulationError(
+                f"trace request record has unknown path {record.path!r}"
+            )
+        shares[record.path] += 1
+    total = sum(shares.values())
+    if total == 0:
+        raise SimulationError("trace has no counted request records")
+    return {
+        "local": shares["local_hit"] / total,
+        "group": shares["group_hit"] / total,
+        "origin": shares["origin_fetch"] / total,
+    }

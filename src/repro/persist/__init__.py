@@ -7,12 +7,19 @@ package provides the stable on-disk formats for that workflow:
 * networks — ``.npz`` (distance matrix + placement metadata);
 * groupings — JSON (scheme, groups, landmark provenance);
 * experiment results — JSON (x-axis, series, notes), so benchmark runs
-  can be archived and diffed.
+  can be archived and diffed;
+* run manifests — JSON (config, seed, phase timings, time series),
+  written by instrumented runs and read back by ``repro report``.
 """
 
 from repro.persist.networks import load_network, save_network
 from repro.persist.groupings import load_grouping, save_grouping
-from repro.persist.results import load_result, save_result
+from repro.persist.results import (
+    load_manifest,
+    load_result,
+    save_manifest,
+    save_result,
+)
 
 __all__ = [
     "save_network",
@@ -21,4 +28,6 @@ __all__ = [
     "load_grouping",
     "save_result",
     "load_result",
+    "save_manifest",
+    "load_manifest",
 ]

@@ -1,7 +1,9 @@
-"""Save/load experiment results as JSON.
+"""Save/load experiment results and run manifests as JSON.
 
 Lets benchmark runs be archived and compared across machines/commits —
-the ``repro experiment`` CLI writes these next to its printed tables.
+the ``repro experiment`` CLI writes these next to its printed tables,
+and instrumented runs leave a :class:`repro.obs.RunManifest` alongside
+their outputs (read back by ``repro report``).
 """
 
 from __future__ import annotations
@@ -12,10 +14,12 @@ from typing import Union
 
 from repro.analysis.report import ExperimentResult, SeriesResult
 from repro.errors import ReproError
+from repro.obs.manifest import RunManifest
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+_MANIFEST_FORMAT_VERSION = 1
 
 
 def save_result(result: ExperimentResult, path: PathLike) -> None:
@@ -61,3 +65,37 @@ def load_result(path: PathLike) -> ExperimentResult:
         )
     except (KeyError, TypeError) as exc:
         raise ReproError(f"{path}: malformed result payload") from exc
+
+
+def save_manifest(manifest: RunManifest, path: PathLike) -> None:
+    """Write a run manifest to ``path`` as JSON."""
+    payload = {
+        "format_version": _MANIFEST_FORMAT_VERSION,
+        "kind": "run_manifest",
+        **manifest.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_manifest(path: PathLike) -> RunManifest:
+    """Read a run manifest written by :func:`save_manifest`."""
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            payload = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path} is not valid JSON: {exc}") from exc
+    if payload.get("kind") != "run_manifest":
+        raise ReproError(f"{path} is not a run manifest")
+    if payload.get("format_version") != _MANIFEST_FORMAT_VERSION:
+        raise ReproError(
+            f"{path} has manifest format version "
+            f"{payload.get('format_version')}, "
+            f"expected {_MANIFEST_FORMAT_VERSION}"
+        )
+    payload = {
+        k: v for k, v in payload.items()
+        if k not in ("format_version", "kind")
+    }
+    return RunManifest.from_dict(payload)

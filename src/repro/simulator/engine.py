@@ -9,11 +9,13 @@ per-event control flow.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Sequence, Set, Union
 
 from repro.config import SimulationConfig
 from repro.core.groups import GroupingResult
 from repro.errors import SimulationError
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.simulator.cache import EdgeCache
 from repro.simulator.events import (
     CacheFailEvent,
@@ -44,8 +46,13 @@ class SimulationEngine:
         config: Optional[SimulationConfig] = None,
         group_protocol_mode: str = "beacon",
         failures: Sequence[Union[CacheFailEvent, CacheRecoverEvent]] = (),
+        observer: Optional[Observer] = None,
     ) -> None:
         self._config = config or SimulationConfig()
+        # Single gate for all instrumentation: when no instrument is
+        # attached the per-event overhead is one cached boolean check.
+        self._observer = observer if observer is not None else NULL_OBSERVER
+        self._instrumented = self._observer.active
         self._config.validate()
         self._network = network
         self._workload = workload
@@ -147,10 +154,27 @@ class SimulationEngine:
         except KeyError:
             raise SimulationError(f"unknown cache {node}") from None
 
+    @property
+    def observer(self) -> Observer:
+        return self._observer
+
     def run(self) -> SimulationMetrics:
         """Process every event; returns the collected metrics."""
+        sampler = self._observer.sampler if self._instrumented else None
+        started = time.perf_counter()
+        events_processed = 0
+        now = 0.0
         while self._events:
             event = self._events.pop()
+            events_processed += 1
+            now = event.timestamp_ms
+            if sampler is not None:
+                # Flush every sample boundary that precedes this event,
+                # so sample times align with simulated (not host) time.
+                tick = sampler.next_due(now)
+                while tick is not None:
+                    sampler.flush(tick, **self._sample_gauges(tick))
+                    tick = sampler.next_due(now)
             if isinstance(event, RequestEvent):
                 self._handle_request(event)
             elif isinstance(event, OriginUpdateEvent):
@@ -161,9 +185,30 @@ class SimulationEngine:
                 self._handle_recover(event)
             else:  # pragma: no cover - event union is closed
                 raise SimulationError(f"unknown event {event!r}")
+        if sampler is not None:
+            sampler.finalize(now, **self._sample_gauges(now))
+        if self._observer is not NULL_OBSERVER:
+            # Any caller-supplied observer gets throughput numbers, even
+            # one with no per-request instruments (manifest-only runs).
+            self._observer.note_throughput(
+                events_processed, time.perf_counter() - started
+            )
         if not self._metrics.conservation_holds():
             raise SimulationError("request conservation violated")
         return self._metrics
+
+    def _sample_gauges(self, now_ms: float) -> Dict[str, float]:
+        """Point-in-time gauges attached to each flushed sample."""
+        utilisation = 0.0
+        if self._origin_load is not None:
+            utilisation = self._origin_load.utilisation(now_ms)
+        occupancy = sum(
+            c.used_bytes / c.capacity_bytes for c in self._caches.values()
+        ) / len(self._caches)
+        return {
+            "origin_utilisation": utilisation,
+            "cache_occupancy": occupancy,
+        }
 
     # -- event handlers ---------------------------------------------------
 
@@ -188,17 +233,26 @@ class SimulationEngine:
                 cache.node, account, messages=0, size_bytes=size,
                 counted=counted,
             )
+            if self._instrumented:
+                self._observer.on_request(
+                    now, cache.node, doc_id, account, 0, size,
+                    counted, False,
+                )
             return
 
         self._expire_if_due(cache, doc_id, now)
         if cache.holds(doc_id):
             entry = cache.access(doc_id, now)
             account = self._latency.local_hit()
+            stale = entry.version < self._origin.version_of(doc_id)
             self._metrics.record_request(
                 cache.node, account, messages=0, size_bytes=0,
-                counted=counted,
-                stale=entry.version < self._origin.version_of(doc_id),
+                counted=counted, stale=stale,
             )
+            if self._instrumented:
+                self._observer.on_request(
+                    now, cache.node, doc_id, account, 0, 0, counted, stale,
+                )
             return
 
         lookup = self._protocol.lookup(cache.node, doc_id)
@@ -236,14 +290,20 @@ class SimulationEngine:
             )
             if admitted:
                 self._protocol.record_copy(cache.node, doc_id)
+        stale = fetched_version < self._origin.version_of(doc_id)
         self._metrics.record_request(
             cache.node,
             account,
             messages=lookup.messages,
             size_bytes=size,
             counted=counted,
-            stale=fetched_version < self._origin.version_of(doc_id),
+            stale=stale,
         )
+        if self._instrumented:
+            self._observer.on_request(
+                now, cache.node, doc_id, account, lookup.messages, size,
+                counted, stale,
+            )
 
     def _origin_account(
         self, cache_node: NodeId, size: int, query_ms: float, now_ms: float
@@ -312,6 +372,10 @@ class SimulationEngine:
         for doc_id in list(cache.stored_ids()):
             cache.expire(doc_id)  # eviction callback cleans the directory
         self._down.add(event.cache_node)
+        if self._instrumented:
+            self._observer.on_cache_fail(
+                event.timestamp_ms, event.cache_node
+            )
 
     def _handle_recover(self, event: CacheRecoverEvent) -> None:
         """A failed cache rejoins, empty."""
@@ -320,9 +384,15 @@ class SimulationEngine:
                 f"cache {event.cache_node} recovered but was not down"
             )
         self._down.discard(event.cache_node)
+        if self._instrumented:
+            self._observer.on_cache_recover(
+                event.timestamp_ms, event.cache_node
+            )
 
     def _handle_update(self, event: OriginUpdateEvent) -> None:
         self._origin.apply_update(event.doc_id)
+        if self._instrumented:
+            self._observer.on_origin_update(event.timestamp_ms, event.doc_id)
         if (
             not self._config.consistency_enabled
             or self._config.consistency_mode != "invalidate"

@@ -3,7 +3,17 @@
 Per-cache and network-wide aggregates of everything the paper measures:
 average edge cache latency, hit-rate decomposition (local / group /
 origin), cooperation traffic (query messages, peer bytes), and
-consistency traffic (invalidation messages).
+consistency traffic (invalidation messages), plus latency percentiles
+over all counted requests (fixed-bin histogram, O(1) memory).
+
+Zero-denominator convention: ratio accessors over a sub-population that
+can legitimately be empty — a single cache's :meth:`CacheStats.hit_rate`
+(no requests arrived there) and :meth:`SimulationMetrics.group_hit_rate`
+(no misses at all) — return ``0.0``.  Network-wide accessors that are
+meaningless before any counted request (``average_latency_ms``,
+``hit_rates``, ``stale_serve_fraction``, ``latency_percentile``) raise
+:class:`SimulationError`, because calling them on an empty run is a
+usage bug rather than a boundary case.
 """
 
 from __future__ import annotations
@@ -16,7 +26,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.simulator.latency import ServiceAccount, ServicePath
 from repro.types import NodeId
-from repro.utils.stats import OnlineStats
+from repro.utils.stats import FixedBinHistogram, OnlineStats
 
 
 @dataclass
@@ -46,9 +56,13 @@ class CacheStats:
         return self.local_hits + self.group_hits + self.origin_fetches
 
     def hit_rate(self) -> float:
-        """Fraction of requests served without touching the origin."""
+        """Fraction of requests served without touching the origin.
+
+        Returns ``0.0`` for a cache that saw no requests (see the
+        module's zero-denominator convention).
+        """
         if self.requests == 0:
-            raise SimulationError("hit rate of a cache with no requests")
+            return 0.0
         return (self.local_hits + self.group_hits) / self.requests
 
 
@@ -63,6 +77,7 @@ class SimulationMetrics:
         }
         self._warmup_skipped = 0
         self._invalidation_messages = 0
+        self._latency_hist = FixedBinHistogram()
 
     # -- recording ------------------------------------------------------
 
@@ -86,6 +101,7 @@ class SimulationMetrics:
             self._warmup_skipped += 1
             return
         stats.latency.add(account.total_ms)
+        self._latency_hist.add(account.total_ms)
         stats.query_messages += messages
         if stale:
             stats.stale_serves += 1
@@ -141,6 +157,22 @@ class SimulationMetrics:
             )
         return merged.mean
 
+    def latency_percentile(self, q: float) -> float:
+        """Approximate latency percentile over all counted requests.
+
+        Backed by a fixed-bin histogram (see
+        :class:`repro.utils.stats.FixedBinHistogram`), so accuracy is
+        bounded by the bin width but memory stays O(1) regardless of
+        the request count.
+        """
+        if self._latency_hist.count == 0:
+            raise SimulationError("no counted requests recorded")
+        return self._latency_hist.percentile(q)
+
+    def latency_p95_ms(self) -> float:
+        """The p95 request latency over all counted requests."""
+        return self.latency_percentile(95.0)
+
     def hit_rates(self) -> Dict[str, float]:
         """Network-wide local/group/origin shares of counted requests."""
         total = self.total_requests()
@@ -164,7 +196,11 @@ class SimulationMetrics:
         return stale / total
 
     def group_hit_rate(self) -> float:
-        """Fraction of local misses resolved within the group."""
+        """Fraction of local misses resolved within the group.
+
+        Returns ``0.0`` when there were no misses at all (see the
+        module's zero-denominator convention).
+        """
         group = sum(s.group_hits for s in self._per_cache.values())
         origin = sum(s.origin_fetches for s in self._per_cache.values())
         misses = group + origin

@@ -7,10 +7,14 @@ Bundles engine construction and execution into one call and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.config import SimulationConfig
 from repro.core.groups import GroupingResult
+from repro.errors import SimulationError
+from repro.obs.observer import Observer
+from repro.obs.sampler import TimeSeries
+from repro.obs.trace import TraceRecord
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.metrics import SimulationMetrics
 from repro.topology.network import EdgeCacheNetwork
@@ -20,11 +24,36 @@ from repro.workload.ibm_synthetic import Workload
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    ``observer`` is present only for instrumented runs; the
+    :meth:`timeseries` and :attr:`trace` accessors surface its sampled
+    series and trace records directly.
+    """
 
     metrics: SimulationMetrics = field(repr=False)
     grouping: GroupingResult = field(repr=False)
     network: EdgeCacheNetwork = field(repr=False)
+    observer: Optional[Observer] = field(default=None, repr=False)
+
+    def timeseries(self) -> TimeSeries:
+        """The sampled time series of an instrumented run."""
+        if self.observer is None or self.observer.sampler is None:
+            raise SimulationError(
+                "no time series: run simulate() with an Observer carrying "
+                "a MetricsSampler"
+            )
+        return self.observer.sampler.series()
+
+    @property
+    def trace(self) -> List[TraceRecord]:
+        """The trace records of an instrumented run (oldest first)."""
+        if self.observer is None or self.observer.trace is None:
+            raise SimulationError(
+                "no trace: run simulate() with an Observer carrying a "
+                "TraceCollector"
+            )
+        return self.observer.trace.records()
 
     def average_latency_ms(self, caches: Sequence[NodeId] = ()) -> float:
         """The paper's *average cache latency* (optionally for a subset)."""
@@ -63,6 +92,7 @@ def simulate(
     config: Optional[SimulationConfig] = None,
     group_protocol_mode: str = "beacon",
     failures: Sequence = (),
+    observer: Optional[Observer] = None,
 ) -> SimulationResult:
     """Run the cooperative edge cache network simulation to completion.
 
@@ -90,6 +120,12 @@ def simulate(
         config=config,
         group_protocol_mode=group_protocol_mode,
         failures=failures,
+        observer=observer,
     )
     metrics = engine.run()
-    return SimulationResult(metrics=metrics, grouping=grouping, network=network)
+    return SimulationResult(
+        metrics=metrics,
+        grouping=grouping,
+        network=network,
+        observer=observer,
+    )

@@ -122,6 +122,132 @@ class OnlineStats:
         )
 
 
+class FixedBinHistogram:
+    """Fixed-width binned histogram for O(1) streaming percentiles.
+
+    Values land in ``num_bins`` equal-width bins over ``[0, upper)``;
+    anything at or above ``upper`` goes to an overflow bin.  Percentile
+    queries interpolate linearly inside the winning bin (and return the
+    exact observed maximum for the overflow bin), so accuracy is bounded
+    by the bin width while memory stays constant — the simulator can
+    report p95 latency over 10^5 requests without keeping the series.
+
+    >>> h = FixedBinHistogram(upper=10.0, num_bins=10)
+    >>> for v in [1.0, 2.0, 3.0, 4.0]:
+    ...     h.add(v)
+    >>> 2.0 <= h.percentile(50) <= 3.0
+    True
+    """
+
+    __slots__ = ("_upper", "_width", "_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, upper: float = 2_000.0, num_bins: int = 512) -> None:
+        if upper <= 0:
+            raise ValueError(f"upper must be > 0, got {upper}")
+        if num_bins < 1:
+            raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+        self._upper = float(upper)
+        self._width = self._upper / num_bins
+        # +1 for the overflow bin
+        self._counts = np.zeros(num_bins + 1, dtype=np.int64)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("mean of empty histogram")
+        return self._sum / self._count
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValueError("minimum of empty histogram")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValueError("maximum of empty histogram")
+        return self._max
+
+    @property
+    def overflow_count(self) -> int:
+        """Observations at or above the histogram's upper bound."""
+        return int(self._counts[-1])
+
+    def add(self, value: float) -> None:
+        """Fold one non-negative observation into the histogram."""
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0, got {value}")
+        index = int(value / self._width)
+        if index >= self._counts.size - 1:
+            index = self._counts.size - 1
+        self._counts[index] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (``q`` in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        if self._count == 0:
+            raise ValueError("percentile of empty histogram")
+        target = q / 100.0 * self._count
+        cumulative = 0
+        for index, bin_count in enumerate(self._counts):
+            if bin_count == 0:
+                continue
+            if cumulative + bin_count >= target:
+                if index == self._counts.size - 1:
+                    return self._max  # overflow bin: exact max observed
+                # Linear interpolation within the bin, clamped to the
+                # observed range so tails stay exact.
+                fraction = (target - cumulative) / bin_count
+                estimate = (index + fraction) * self._width
+                return float(min(max(estimate, self._min), self._max))
+            cumulative += int(bin_count)
+        return self._max  # pragma: no cover - loop always terminates above
+
+    def reset(self) -> None:
+        """Clear all counts (used by windowed samplers between ticks)."""
+        self._counts[:] = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def merge(self, other: "FixedBinHistogram") -> None:
+        """Fold another histogram of identical shape into this one."""
+        if (other._upper != self._upper
+                or other._counts.size != self._counts.size):
+            raise ValueError("cannot merge histograms of different shapes")
+        self._counts += other._counts
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._count == 0:
+            return "FixedBinHistogram(empty)"
+        return (
+            f"FixedBinHistogram(n={self._count}, mean={self.mean:.4g}, "
+            f"p95={self.percentile(95):.4g}, max={self._max:.4g})"
+        )
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile of ``values`` (``q`` in [0, 100])."""
     if not 0.0 <= q <= 100.0:

@@ -40,6 +40,26 @@ class TestRunSuite:
         assert run.output_dir is None
         assert "fig4" in run.results
 
+    def test_manifests_collected_and_archived(self, tmp_path):
+        run = run_suite(
+            figures=["fig4"], output_dir=tmp_path, repetitions=1, seed=9
+        )
+        manifest = run.manifests["fig4"]
+        assert manifest.label == "fig4"
+        assert manifest.seed == 9
+        assert manifest.config == {"seed": 9, "repetitions": 1}
+        # the figure phase plus the nested GF-Coordinator stages
+        assert "fig4" in manifest.phase_timings_s
+        assert any(
+            name.startswith("fig4/landmarks")
+            for name in manifest.phase_timings_s
+        )
+        path = tmp_path / "fig4.manifest.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "run_manifest"
+        assert payload["label"] == "fig4"
+
     def test_unknown_figure_rejected(self):
         with pytest.raises(ReproError):
             run_suite(figures=["fig99"])

@@ -1,0 +1,98 @@
+"""Tests for repro.obs.manifest: run-manifest assembly and round-trip."""
+
+import pytest
+
+from repro import __version__
+from repro.config import SimulationConfig
+from repro.errors import ReproError
+from repro.obs import (
+    MetricsSampler,
+    Observer,
+    PhaseRegistry,
+    RunManifest,
+    TraceCollector,
+    build_manifest,
+    config_to_dict,
+)
+
+
+def instrumented_observer():
+    observer = Observer(
+        trace=TraceCollector(capacity=100),
+        sampler=MetricsSampler(interval_ms=100.0),
+    )
+    for _ in range(3):
+        observer.sampler.observe_request("local_hit", 5.0, counted=True)
+    observer.sampler.flush(100.0)
+    observer.note_throughput(1000, 0.5)
+    return observer
+
+
+class TestConfigToDict:
+    def test_flattens_nested_dataclasses(self):
+        payload = config_to_dict(SimulationConfig())
+        assert isinstance(payload, dict)
+        assert isinstance(payload["cache"], dict)
+        assert "capacity_fraction" in payload["cache"]
+
+    def test_passes_plain_values_through(self):
+        assert config_to_dict(42) == 42
+        assert config_to_dict({"a": 1}) == {"a": 1}
+
+
+class TestBuildManifest:
+    def test_minimal(self):
+        manifest = build_manifest("smoke")
+        assert manifest.label == "smoke"
+        assert manifest.version == __version__
+        assert manifest.phase_timings_s == {}
+        assert manifest.timeseries is None
+
+    def test_full_assembly(self):
+        registry = PhaseRegistry()
+        registry.merge_totals({"landmarks": 0.5, "cluster": 0.1})
+        observer = instrumented_observer()
+        manifest = build_manifest(
+            "run",
+            seed=7,
+            config=SimulationConfig(),
+            registry=registry,
+            observer=observer,
+            totals={"requests": 3.0},
+            trace_path="/tmp/t.jsonl",
+        )
+        assert manifest.seed == 7
+        assert manifest.phase_timings_s["landmarks"] == 0.5
+        assert manifest.run_stats["events"] == 1000.0
+        assert manifest.totals == {"requests": 3.0}
+        assert manifest.trace_info["capacity"] == 100
+        assert manifest.trace_info["path"] == "/tmp/t.jsonl"
+        assert len(manifest.timeseries) == 1
+
+    def test_non_dataclass_config_rejected(self):
+        with pytest.raises(ReproError):
+            build_manifest("bad", config="not-a-config")
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        manifest = build_manifest(
+            "run", seed=3, observer=instrumented_observer(),
+            totals={"requests": 3.0},
+        )
+        clone = RunManifest.from_dict(manifest.to_dict())
+        assert clone.label == manifest.label
+        assert clone.seed == manifest.seed
+        assert clone.totals == manifest.totals
+        assert clone.run_stats == manifest.run_stats
+        assert clone.trace_info == manifest.trace_info
+        assert len(clone.timeseries) == len(manifest.timeseries)
+        assert list(clone.timeseries.hit_rate) == [1.0]
+
+    def test_round_trip_without_timeseries(self):
+        clone = RunManifest.from_dict(build_manifest("plain").to_dict())
+        assert clone.timeseries is None
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ReproError):
+            RunManifest.from_dict({"bogus": True})

@@ -1,0 +1,131 @@
+"""Tests for repro.obs.trace: records, ring buffer, JSONL round-trip."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import (
+    KIND_CACHE_FAIL,
+    KIND_REQUEST,
+    TraceCollector,
+    TraceRecord,
+    read_jsonl,
+    replay_hit_rates,
+)
+
+
+def request_record(i, path="local_hit", counted=True):
+    return TraceRecord(
+        kind=KIND_REQUEST,
+        timestamp_ms=float(i),
+        cache=1,
+        doc_id=i,
+        path=path,
+        total_ms=10.0 + i,
+        query_ms=1.0,
+        fetch_ms=5.0,
+        transfer_ms=4.0 + i,
+        messages=2,
+        size_bytes=1000,
+        counted=counted,
+        stale=False,
+    )
+
+
+class TestTraceRecord:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceRecord(kind="bogus", timestamp_ms=0.0)
+
+    def test_to_dict_drops_none_fields(self):
+        record = TraceRecord(
+            kind=KIND_CACHE_FAIL, timestamp_ms=5.0, cache=3
+        )
+        payload = record.to_dict()
+        assert payload == {
+            "kind": KIND_CACHE_FAIL, "timestamp_ms": 5.0, "cache": 3
+        }
+
+    def test_from_dict_round_trip(self):
+        record = request_record(4)
+        assert TraceRecord.from_dict(record.to_dict()) == record
+
+    def test_from_dict_malformed_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceRecord.from_dict({"kind": KIND_REQUEST, "bogus_field": 1})
+
+
+class TestTraceCollector:
+    def test_unbounded_keeps_everything(self):
+        collector = TraceCollector()
+        for i in range(100):
+            collector.record(request_record(i))
+        assert len(collector) == 100
+        assert collector.dropped == 0
+        assert collector.total_recorded == 100
+        assert collector.peak_size == 100
+
+    def test_ring_buffer_evicts_oldest(self):
+        collector = TraceCollector(capacity=10)
+        for i in range(25):
+            collector.record(request_record(i))
+        assert len(collector) == 10
+        assert collector.dropped == 15
+        assert collector.total_recorded == 25
+        assert collector.peak_size == 10
+        kept = [r.doc_id for r in collector.records()]
+        assert kept == list(range(15, 25))
+
+    def test_ring_buffer_before_wrap(self):
+        collector = TraceCollector(capacity=10)
+        for i in range(4):
+            collector.record(request_record(i))
+        assert len(collector) == 4
+        assert collector.dropped == 0
+        assert collector.peak_size == 4
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceCollector(capacity=0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        collector = TraceCollector()
+        originals = [request_record(i) for i in range(5)]
+        originals.append(
+            TraceRecord(kind=KIND_CACHE_FAIL, timestamp_ms=9.0, cache=2)
+        )
+        for record in originals:
+            collector.record(record)
+        path = tmp_path / "trace.jsonl"
+        assert collector.write_jsonl(path) == 6
+        assert read_jsonl(path) == originals
+
+    def test_read_jsonl_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SimulationError):
+            read_jsonl(path)
+
+
+class TestReplayHitRates:
+    def test_shares_sum_to_one(self):
+        records = (
+            [request_record(i, "local_hit") for i in range(2)]
+            + [request_record(i, "group_hit") for i in range(3)]
+            + [request_record(i, "origin_fetch") for i in range(5)]
+        )
+        rates = replay_hit_rates(records)
+        assert rates["local"] == pytest.approx(0.2)
+        assert rates["group"] == pytest.approx(0.3)
+        assert rates["origin"] == pytest.approx(0.5)
+
+    def test_warmup_and_non_request_records_excluded(self):
+        records = [
+            request_record(0, "origin_fetch", counted=False),
+            request_record(1, "local_hit"),
+            TraceRecord(kind=KIND_CACHE_FAIL, timestamp_ms=2.0, cache=1),
+        ]
+        assert replay_hit_rates(records)["local"] == 1.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            replay_hit_rates([])

@@ -55,3 +55,65 @@ class TestResultRoundTrip:
         path.write_text(json.dumps({"format_version": 1}))
         with pytest.raises(ReproError):
             load_result(path)
+
+
+class TestManifestRoundTrip:
+    def make_manifest(self):
+        from repro.obs import (
+            MetricsSampler,
+            Observer,
+            PhaseRegistry,
+            TraceCollector,
+            build_manifest,
+        )
+
+        observer = Observer(
+            trace=TraceCollector(), sampler=MetricsSampler(100.0)
+        )
+        observer.sampler.observe_request("local_hit", 4.0, counted=True)
+        observer.sampler.flush(100.0)
+        registry = PhaseRegistry()
+        registry.merge_totals({"landmarks": 0.2})
+        return build_manifest(
+            "unit", seed=11, registry=registry, observer=observer,
+            totals={"requests": 1.0},
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.persist import load_manifest, save_manifest
+
+        path = tmp_path / "run.json"
+        save_manifest(self.make_manifest(), path)
+        loaded = load_manifest(path)
+        assert loaded.label == "unit"
+        assert loaded.seed == 11
+        assert loaded.phase_timings_s == {"landmarks": 0.2}
+        assert loaded.totals == {"requests": 1.0}
+        assert len(loaded.timeseries) == 1
+
+    def test_on_disk_payload_is_versioned(self, tmp_path):
+        from repro.persist import save_manifest
+
+        path = tmp_path / "run.json"
+        save_manifest(self.make_manifest(), path)
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "run_manifest"
+        assert payload["format_version"] == 1
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        from repro.persist import load_manifest
+
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format_version": 1, "kind": "other"}))
+        with pytest.raises(ReproError):
+            load_manifest(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        from repro.persist import load_manifest
+
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps({"format_version": 99, "kind": "run_manifest"})
+        )
+        with pytest.raises(ReproError):
+            load_manifest(path)

@@ -163,3 +163,32 @@ class TestFailure:
         metrics = engine.run()
         assert metrics.conservation_holds()
         assert metrics.total_requests() == 30
+
+    def test_conservation_with_warmup_and_failures(self, network, catalog):
+        """Regression: run() must leave every served request accounted
+        for even when warm-up exclusion and mid-run crashes overlap."""
+        requests = [
+            RequestRecord(float(i * 5), 1 + (i % 3), i % 4)
+            for i in range(60)
+        ]
+        failures = [
+            CacheFailEvent(30.0, 2),    # crash during warm-up
+            CacheRecoverEvent(80.0, 2),
+            CacheFailEvent(150.0, 1),   # crash after warm-up
+            CacheRecoverEvent(220.0, 1),
+        ]
+        workload = Workload(
+            catalog=catalog, requests=tuple(requests), updates=()
+        )
+        config_obj = SimulationConfig(
+            cache=CacheConfig(capacity_fraction=0.5), warmup_fraction=0.2
+        )
+        engine = SimulationEngine(
+            network, one_group(), workload, config_obj, failures=failures
+        )
+        metrics = engine.run()  # run() itself asserts conservation
+        assert metrics.conservation_holds()
+        # warm-up requests are excluded from the counted totals
+        assert metrics.total_requests() == 48
+        shares = metrics.hit_rates()
+        assert sum(shares.values()) == pytest.approx(1.0)

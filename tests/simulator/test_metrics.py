@@ -138,9 +138,27 @@ class TestAggregates:
         )
         assert metrics.cache_stats(1).hit_rate() == 0.5
 
-    def test_hit_rate_no_requests_raises(self, metrics):
+    def test_hit_rate_no_requests_is_zero(self, metrics):
+        """Zero-denominator convention: empty sub-populations yield 0.0."""
+        assert metrics.cache_stats(1).hit_rate() == 0.0
+
+    def test_zero_denominator_convention_is_consistent(self, metrics):
+        """Both per-cache hit rate and group hit rate use the same
+        convention: an empty denominator returns 0.0 instead of raising."""
+        assert metrics.cache_stats(2).hit_rate() == 0.0
+        assert metrics.group_hit_rate() == 0.0
+
+    def test_latency_percentiles(self, metrics):
+        for total in (10.0, 20.0, 30.0, 40.0):
+            metrics.record_request(
+                1, account(ServicePath.LOCAL_HIT, total), 0, 0, counted=True
+            )
+        assert 30.0 <= metrics.latency_p95_ms() <= 40.0
+        assert metrics.latency_percentile(0.0) <= 10.1
+
+    def test_latency_percentile_empty_raises(self, metrics):
         with pytest.raises(SimulationError):
-            metrics.cache_stats(1).hit_rate()
+            metrics.latency_p95_ms()
 
     def test_empty_cache_list_rejected(self):
         with pytest.raises(SimulationError):

@@ -232,3 +232,124 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestInstrumentedSimulate:
+    def run_instrumented(self, tmp_path, network_file, extra):
+        return main(
+            [
+                "simulate",
+                "--network", str(network_file),
+                "--scheme", "SDSL",
+                "--landmarks", "5",
+                "--requests-per-cache", "30",
+                "--documents", "50",
+                *extra,
+            ]
+        )
+
+    def test_forms_groups_in_process(self, capsys, tmp_path, network_file):
+        code = self.run_instrumented(tmp_path, network_file, [])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "formed" in out
+        assert "SDSL" in out
+        assert "p95 latency" in out
+
+    def test_trace_replays_to_reported_rates(
+        self, capsys, tmp_path, network_file
+    ):
+        from repro.obs import read_jsonl, replay_hit_rates
+
+        trace_path = tmp_path / "trace.jsonl"
+        code = self.run_instrumented(
+            tmp_path, network_file, ["--trace", str(trace_path)]
+        )
+        assert code == 0
+        records = read_jsonl(trace_path)
+        assert records
+        rates = replay_hit_rates(records)
+        out = capsys.readouterr().out
+        assert f"local hit share            |   {rates['local']:.2f}" in out
+
+    def test_trace_capacity_bounds_file(self, tmp_path, network_file):
+        trace_path = tmp_path / "trace.jsonl"
+        code = self.run_instrumented(
+            tmp_path, network_file,
+            ["--trace", str(trace_path), "--trace-capacity", "10"],
+        )
+        assert code == 0
+        lines = trace_path.read_text().splitlines()
+        assert len(lines) == 10
+
+    def test_manifest_has_phases_and_series(self, tmp_path, network_file):
+        from repro.persist import load_manifest
+
+        manifest_path = tmp_path / "run.json"
+        code = self.run_instrumented(
+            tmp_path, network_file,
+            ["--manifest", str(manifest_path), "--sample-ms", "500"],
+        )
+        assert code == 0
+        manifest = load_manifest(manifest_path)
+        # the GF-Coordinator steps are timed end to end
+        for phase in ("gf/landmarks", "gf/features", "gf/cluster"):
+            assert phase in manifest.phase_timings_s
+        assert manifest.totals["requests"] > 0
+        assert manifest.run_stats["events_per_sec"] > 0
+        assert len(manifest.timeseries) >= 10
+
+    def test_manifest_with_preformed_groups(
+        self, tmp_path, network_file, groups_file
+    ):
+        from repro.persist import load_manifest
+
+        manifest_path = tmp_path / "run.json"
+        code = main(
+            [
+                "simulate",
+                "--network", str(network_file),
+                "--groups", str(groups_file),
+                "--requests-per-cache", "20",
+                "--documents", "50",
+                "--manifest", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        manifest = load_manifest(manifest_path)
+        assert manifest.totals["requests"] > 0
+        assert "workload" in manifest.phase_timings_s
+
+
+class TestReportCommand:
+    def test_pretty_prints_manifest(self, capsys, tmp_path, network_file):
+        manifest_path = tmp_path / "run.json"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "simulate",
+                "--network", str(network_file),
+                "--scheme", "SL",
+                "--landmarks", "5",
+                "--requests-per-cache", "30",
+                "--documents", "50",
+                "--trace", str(trace_path),
+                "--sample-ms", "500",
+                "--manifest", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["report", str(manifest_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulate:SL" in out
+        assert "gf/landmarks" in out
+        assert "time series:" in out
+        assert "hit_rate" in out
+        assert "trace.records" in out
+
+    def test_missing_manifest_errors(self, capsys, tmp_path):
+        code = main(["report", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -5,7 +5,12 @@ import math
 import numpy as np
 import pytest
 
-from repro.utils.stats import OnlineStats, percentile, summarize
+from repro.utils.stats import (
+    FixedBinHistogram,
+    OnlineStats,
+    percentile,
+    summarize,
+)
 
 
 class TestOnlineStats:
@@ -128,3 +133,90 @@ class TestSummarize:
     def test_str_contains_stats(self):
         text = str(summarize([1.0, 2.0]))
         assert "mean=" in text and "p95=" in text
+
+
+class TestFixedBinHistogram:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FixedBinHistogram(upper=0.0)
+        with pytest.raises(ValueError):
+            FixedBinHistogram(num_bins=0)
+
+    def test_negative_value_rejected(self):
+        h = FixedBinHistogram()
+        with pytest.raises(ValueError):
+            h.add(-1.0)
+
+    def test_basic_moments(self):
+        h = FixedBinHistogram(upper=100.0)
+        for v in (10.0, 20.0, 30.0):
+            h.add(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(20.0)
+        assert h.minimum == 10.0
+        assert h.maximum == 30.0
+        assert h.overflow_count == 0
+
+    def test_percentiles_track_numpy_within_bin_width(self):
+        rng = np.random.default_rng(5)
+        data = rng.exponential(scale=100.0, size=5_000)
+        h = FixedBinHistogram(upper=2_000.0, num_bins=512)
+        for v in data:
+            h.add(float(v))
+        width = 2_000.0 / 512
+        for q in (10, 50, 90, 95, 99):
+            assert h.percentile(q) == pytest.approx(
+                np.percentile(data, q), abs=2 * width
+            )
+
+    def test_extreme_percentiles_are_exact(self):
+        h = FixedBinHistogram(upper=100.0)
+        for v in (3.0, 42.0, 77.0):
+            h.add(v)
+        assert h.percentile(0) == 3.0
+        assert h.percentile(100) == 77.0
+
+    def test_overflow_bin_returns_exact_max(self):
+        h = FixedBinHistogram(upper=10.0, num_bins=10)
+        h.add(5.0)
+        h.add(123.5)  # beyond upper
+        assert h.overflow_count == 1
+        assert h.percentile(100) == 123.5
+        assert h.percentile(99) == 123.5
+
+    def test_empty_queries_rejected(self):
+        h = FixedBinHistogram()
+        for query in (lambda: h.mean, lambda: h.minimum,
+                      lambda: h.maximum, lambda: h.percentile(50)):
+            with pytest.raises(ValueError):
+                query()
+
+    def test_out_of_range_q_rejected(self):
+        h = FixedBinHistogram()
+        h.add(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_reset(self):
+        h = FixedBinHistogram()
+        h.add(5.0)
+        h.reset()
+        assert h.count == 0
+        with pytest.raises(ValueError):
+            h.percentile(50)
+
+    def test_merge(self):
+        a = FixedBinHistogram(upper=100.0)
+        b = FixedBinHistogram(upper=100.0)
+        a.add(10.0)
+        b.add(30.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == pytest.approx(20.0)
+        assert a.maximum == 30.0
+
+    def test_merge_shape_mismatch_rejected(self):
+        a = FixedBinHistogram(upper=100.0)
+        b = FixedBinHistogram(upper=50.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
