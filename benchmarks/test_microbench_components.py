@@ -111,3 +111,118 @@ def test_simulator_throughput_instrumented(benchmark, network100):
     result = benchmark(run)
     assert len(result.trace) > 0
     assert len(result.timeseries()) > 0
+
+
+# -- BENCH_engine.json trajectory artifact --------------------------------
+#
+# Emitted for CI upload: one JSON file recording engine throughput
+# (plain, instrumented, and the legacy heap loop) and suite wall-clock
+# at jobs=1 vs jobs=2, each compared against the committed seed baseline
+# in ``benchmarks/baselines/BENCH_engine_seed.json`` so the speedup
+# trajectory is tracked across PRs rather than across one noisy run.
+
+import json
+import time
+from pathlib import Path
+
+_BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_engine_seed.json"
+_ARTIFACT_PATH = Path("BENCH_engine.json")
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_emit_bench_engine_artifact():
+    """Measure engine + suite wall-clock and write BENCH_engine.json."""
+    from repro.experiments.suite import run_suite
+    from repro.obs import MetricsSampler, Observer, TraceCollector
+    from repro.runtime import reset_cache
+
+    baseline = json.loads(_BASELINE_PATH.read_text())
+
+    network = build_network(num_caches=100, seed=5)
+    workload = _throughput_workload(network)
+    grouping = single_group(network.cache_nodes)
+
+    counter = Observer()
+    simulate(network, grouping, workload, observer=counter)
+    events = int(counter.run_stats["events"])
+
+    t_plain = _best_of(lambda: simulate(network, grouping, workload))
+    t_heap = _best_of(
+        lambda: simulate(
+            network, grouping, workload, event_loop="heap"
+        )
+    )
+    t_instrumented = _best_of(
+        lambda: simulate(
+            network, grouping, workload,
+            observer=Observer(
+                trace=TraceCollector(capacity=10_000),
+                sampler=MetricsSampler(interval_ms=1_000.0),
+            ),
+        )
+    )
+
+    def suite_wall(jobs):
+        reset_cache()
+        start = time.perf_counter()
+        run = run_suite(jobs=jobs)
+        elapsed = time.perf_counter() - start
+        cache_stats = {
+            fig: {
+                name: int(value)
+                for name, value in manifest.run_stats.items()
+                if name.startswith("testbed_cache_")
+            }
+            for fig, manifest in run.manifests.items()
+        }
+        return elapsed, cache_stats
+
+    serial_wall, serial_cache = suite_wall(jobs=1)
+    parallel_wall, parallel_cache = suite_wall(jobs=2)
+
+    plain_eps = events / t_plain
+    instrumented_eps = events / t_instrumented
+    artifact = {
+        "baseline": baseline,
+        "engine": {
+            "events": events,
+            "plain_events_per_sec": plain_eps,
+            "instrumented_events_per_sec": instrumented_eps,
+            "heap_loop_events_per_sec": events / t_heap,
+        },
+        "suite": {
+            "wall_s_jobs1": serial_wall,
+            "wall_s_jobs2": parallel_wall,
+            "cache_stats_jobs1": serial_cache,
+            "cache_stats_jobs2": parallel_cache,
+        },
+        "improvement_vs_seed": {
+            "suite_wall": baseline["suite_wall_s"] / serial_wall,
+            "engine_plain": (
+                plain_eps / baseline["engine"]["plain_events_per_sec"]
+            ),
+            "engine_instrumented": (
+                instrumented_eps
+                / baseline["engine"]["instrumented_events_per_sec"]
+            ),
+        },
+    }
+    _ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    assert events == baseline["engine"]["events"], (
+        "event count drifted from the baseline workload; "
+        "re-baseline before comparing throughput"
+    )
+    # The runtime layer's headline claim: the serial suite runs at
+    # least 1.5x faster than the seed tree on comparable hardware.
+    assert artifact["improvement_vs_seed"]["suite_wall"] >= 1.5
+    for fig_stats in serial_cache.values():
+        assert "testbed_cache_hits" in fig_stats

@@ -156,6 +156,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--figures",
         help="(with 'all') comma-separated subset, e.g. fig4,fig8",
     )
+    exp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent work units across N worker processes "
+             "(results are bit-identical to --jobs 1)",
+    )
+    exp.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist built networks/workloads under DIR "
+             "(e.g. results/cache) and reuse them across runs",
+    )
 
     cmp_parser = sub.add_parser(
         "compare", help="diff two archived experiment results (JSON)"
@@ -369,6 +379,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.runtime import TaskScheduler, configure_cache, use_scheduler
+
     if args.figure == "all":
         from repro.experiments import run_suite
 
@@ -381,6 +393,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             paper_scale=args.paper_scale,
             repetitions=args.repetitions,
             seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
         )
         for experiment_id in sorted(run.results):
             print(run.results[experiment_id].render())
@@ -396,12 +410,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["seed"] = args.seed
     if args.repetitions is not None:
         kwargs["repetitions"] = args.repetitions
-    try:
-        result = run_experiment(args.figure, **kwargs)
-    except TypeError:
-        # e.g. fig3 takes no --repetitions; re-run with the basics only.
-        kwargs.pop("repetitions", None)
-        result = run_experiment(args.figure, **kwargs)
+    if args.cache_dir:
+        configure_cache(disk_dir=args.cache_dir)
+    scheduler = TaskScheduler(args.jobs)
+    with scheduler, use_scheduler(scheduler):
+        try:
+            result = run_experiment(args.figure, **kwargs)
+        except TypeError:
+            # e.g. fig3 takes no --repetitions; re-run with basics only.
+            kwargs.pop("repetitions", None)
+            result = run_experiment(args.figure, **kwargs)
     print(result.render())
     if args.plot:
         print()

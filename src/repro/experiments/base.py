@@ -20,6 +20,7 @@ from repro.config import (
 )
 from repro.core.groups import GroupingResult
 from repro.obs.profiling import phase_timer
+from repro.runtime.cache import get_cache, testbed_key
 from repro.simulator.runner import SimulationResult, simulate
 from repro.topology.network import EdgeCacheNetwork, build_network
 from repro.utils.rng import RngFactory
@@ -74,7 +75,28 @@ def build_testbed(
     requests_per_cache: int = 150,
     num_documents: int = 400,
 ) -> Testbed:
-    """Build a network and matching workload from one experiment seed."""
+    """Build (or fetch) a network and matching workload for one seed.
+
+    Testbeds are pure functions of the arguments, so they are memoised
+    through the process-wide :class:`repro.runtime.cache.TestbedCache`
+    — repeated figure points (and process-pool workers) skip the
+    all-pairs Dijkstra and workload synthesis on a hit.
+    """
+    key = testbed_key(num_caches, seed, requests_per_cache, num_documents)
+    return get_cache().get_or_build(
+        key,
+        lambda: _build_testbed_fresh(
+            num_caches, seed, requests_per_cache, num_documents
+        ),
+    )
+
+
+def _build_testbed_fresh(
+    num_caches: int,
+    seed: int,
+    requests_per_cache: int,
+    num_documents: int,
+) -> Testbed:
     factory = RngFactory(seed)
     with phase_timer("testbed/network"):
         network = build_network(

@@ -22,10 +22,38 @@ from repro.experiments.base import (
     landmark_config,
     run_simulation,
 )
+from repro.runtime.scheduler import map_tasks
 
 #: Group sizes swept at laptop scale (paper sweeps 2..500 on 500 caches).
 DEFAULT_GROUP_SIZES = (2, 5, 10, 25, 50, 100, 150)
 PAPER_GROUP_SIZES = (2, 5, 10, 25, 50, 100, 250, 500)
+
+
+def _fig3_point(payload: dict) -> tuple:
+    """One sweep point: form groups at one size and simulate.
+
+    Module-level and driven by a plain payload dict so the ambient
+    :class:`~repro.runtime.scheduler.TaskScheduler` can ship it to a
+    pool worker; the testbed is re-fetched from the content-keyed cache
+    (or carried along when the caller supplied its own).
+    """
+    testbed = payload.get("testbed")
+    if testbed is None:
+        testbed = build_testbed(payload["num_caches"], payload["seed"])
+    n = testbed.num_caches
+    k = max(1, round(n / payload["size"]))
+    if k == 1:
+        grouping = single_group(testbed.network.cache_nodes)
+    else:
+        scheme = SLScheme(landmark_config=landmark_config(num_caches=n))
+        grouping = scheme.form_groups(testbed.network, k, seed=payload["seed"])
+    result = run_simulation(testbed, grouping)
+    subset = payload["subset"]
+    return (
+        result.average_latency_ms(),
+        result.latency_nearest_origin(subset),
+        result.latency_farthest_origin(subset),
+    )
 
 
 def run_fig3(
@@ -48,31 +76,31 @@ def run_fig3(
     if any(size < 1 for size in group_sizes):
         raise ValueError(f"group sizes must be >= 1: {group_sizes}")
 
-    if testbed is None:
+    supplied = testbed is not None
+    if not supplied:
+        # Warm the cache once in this process so pool workers forked
+        # later inherit the built testbed instead of each rebuilding it.
         testbed = build_testbed(num_caches, seed)
     n = testbed.num_caches
     subset = subset_count or max(5, n // 10)
 
-    all_latency = []
-    near_latency = []
-    far_latency = []
-    swept = []
-    for size in group_sizes:
-        if size > n:
-            continue
-        swept.append(size)
-        k = max(1, round(n / size))
-        if k == 1:
-            grouping = single_group(testbed.network.cache_nodes)
-        else:
-            scheme = SLScheme(
-                landmark_config=landmark_config(num_caches=n)
-            )
-            grouping = scheme.form_groups(testbed.network, k, seed=seed)
-        result = run_simulation(testbed, grouping)
-        all_latency.append(result.average_latency_ms())
-        near_latency.append(result.latency_nearest_origin(subset))
-        far_latency.append(result.latency_farthest_origin(subset))
+    swept = [size for size in group_sizes if size <= n]
+    payloads = [
+        {
+            "num_caches": n,
+            "seed": seed,
+            "size": size,
+            "subset": subset,
+            # A caller-supplied testbed is not reconstructible from the
+            # seed, so it rides along; cache-built ones are re-fetched.
+            "testbed": testbed if supplied else None,
+        }
+        for size in swept
+    ]
+    points = map_tasks(_fig3_point, payloads)
+    all_latency = [point[0] for point in points]
+    near_latency = [point[1] for point in points]
+    far_latency = [point[2] for point in points]
 
     return ExperimentResult(
         experiment_id="fig3",

@@ -20,13 +20,41 @@ from repro.core.schemes import (
     SLScheme,
 )
 from repro.experiments.base import landmark_config
-from repro.topology.network import build_network
+from repro.runtime.cache import cached_network
+from repro.runtime.scheduler import map_tasks
 from repro.utils.rng import RngFactory
 
 DEFAULT_SIZES = (60, 100, 140, 180)
 PAPER_SIZES = (100, 200, 300, 400, 500)
 #: K is set to 10% of the cache count, per the paper.
 GROUP_FRACTION = 0.10
+
+_SCHEMES = {
+    "sl_ms": SLScheme,
+    "random_ms": RandomLandmarksScheme,
+    "mindist_ms": MinDistLandmarksScheme,
+}
+
+
+def _fig4_unit(payload: dict) -> float:
+    """GICost of one (size, repetition, selector) work unit.
+
+    The repetition's network and the selector's K-means seed stream are
+    both re-derived from the forked factory's root seed, so the unit is
+    a pure function of the payload — identical inline or on a worker.
+    """
+    network = cached_network(payload["n"], payload["fork_seed"])
+    scheme = _SCHEMES[payload["scheme"]](
+        landmark_config=landmark_config(
+            payload["num_landmarks"], num_caches=payload["n"]
+        )
+    )
+    grouping = scheme.form_groups(
+        network,
+        payload["k"],
+        seed=RngFactory(payload["fork_seed"]).stream(payload["scheme"]),
+    )
+    return average_group_interaction_cost(network, grouping)
 
 
 def run_fig4(
@@ -47,32 +75,30 @@ def run_fig4(
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
 
-    schemes = {
-        "sl_ms": SLScheme,
-        "random_ms": RandomLandmarksScheme,
-        "mindist_ms": MinDistLandmarksScheme,
-    }
-    series = {name: [] for name in schemes}
+    series = {name: [] for name in _SCHEMES}
     factory = RngFactory(seed)
 
+    payloads = []
     for n in sizes:
         k = max(2, round(GROUP_FRACTION * n))
-        lm_config = landmark_config(num_landmarks, num_caches=n)
-        totals = {name: 0.0 for name in schemes}
         for rep in range(repetitions):
-            rep_factory = factory.fork(f"n{n}-rep{rep}")
-            network = build_network(
-                num_caches=n, seed=rep_factory.stream("topology")
-            )
-            for name, scheme_cls in schemes.items():
-                scheme = scheme_cls(landmark_config=lm_config)
-                grouping = scheme.form_groups(
-                    network, k, seed=rep_factory.stream(name)
-                )
-                totals[name] += average_group_interaction_cost(
-                    network, grouping
-                )
-        for name in schemes:
+            fork_seed = factory.fork(f"n{n}-rep{rep}").root_seed
+            for name in _SCHEMES:
+                payloads.append({
+                    "n": n,
+                    "k": k,
+                    "num_landmarks": num_landmarks,
+                    "scheme": name,
+                    "fork_seed": fork_seed,
+                })
+    values = iter(map_tasks(_fig4_unit, payloads))
+
+    for n in sizes:
+        totals = {name: 0.0 for name in _SCHEMES}
+        for _rep in range(repetitions):
+            for name in _SCHEMES:
+                totals[name] += next(values)
+        for name in _SCHEMES:
             series[name].append(totals[name] / repetitions)
 
     sl = series["sl_ms"]

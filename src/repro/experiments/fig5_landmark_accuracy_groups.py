@@ -18,11 +18,40 @@ from repro.core.schemes import (
     SLScheme,
 )
 from repro.experiments.base import landmark_config
-from repro.topology.network import build_network
+from repro.runtime.cache import cached_network
+from repro.runtime.scheduler import map_tasks
 from repro.utils.rng import RngFactory
 
 DEFAULT_K_VALUES = (5, 10, 15, 25, 40)
 PAPER_K_VALUES = (10, 25, 50, 75, 100)
+
+_SCHEMES = {
+    "sl_ms": SLScheme,
+    "random_ms": RandomLandmarksScheme,
+    "mindist_ms": MinDistLandmarksScheme,
+}
+
+
+def _fig5_unit(payload: dict) -> float:
+    """GICost of one (K, repetition, selector) work unit.
+
+    The figure sweeps K over a *fixed* network per repetition (the
+    network does not depend on K), so the topology is derived per
+    repetition and fetched from the testbed cache; only the selector's
+    seed stream varies with (K, selector).
+    """
+    network = cached_network(payload["num_caches"], payload["rep_seed"])
+    scheme = _SCHEMES[payload["scheme"]](
+        landmark_config=landmark_config(
+            payload["num_landmarks"], num_caches=payload["num_caches"]
+        )
+    )
+    grouping = scheme.form_groups(
+        network,
+        payload["k"],
+        seed=RngFactory(payload["rep_seed"]).stream(payload["stream"]),
+    )
+    return average_group_interaction_cost(network, grouping)
 
 
 def run_fig5(
@@ -43,31 +72,33 @@ def run_fig5(
             f"k values must lie in [1, {num_caches}]: {k_values}"
         )
 
-    schemes = {
-        "sl_ms": SLScheme,
-        "random_ms": RandomLandmarksScheme,
-        "mindist_ms": MinDistLandmarksScheme,
-    }
-    series = {name: [] for name in schemes}
+    series = {name: [] for name in _SCHEMES}
     factory = RngFactory(seed)
-    lm_config = landmark_config(num_landmarks, num_caches=num_caches)
+    rep_seeds = [
+        factory.fork(f"rep{rep}").root_seed for rep in range(repetitions)
+    ]
 
-    for k in k_values:
-        totals = {name: 0.0 for name in schemes}
-        for rep in range(repetitions):
-            rep_factory = factory.fork(f"k{k}-rep{rep}")
-            network = build_network(
-                num_caches=num_caches, seed=rep_factory.stream("topology")
-            )
-            for name, scheme_cls in schemes.items():
-                scheme = scheme_cls(landmark_config=lm_config)
-                grouping = scheme.form_groups(
-                    network, k, seed=rep_factory.stream(name)
-                )
-                totals[name] += average_group_interaction_cost(
-                    network, grouping
-                )
-        for name in schemes:
+    payloads = [
+        {
+            "num_caches": num_caches,
+            "k": k,
+            "num_landmarks": num_landmarks,
+            "scheme": name,
+            "rep_seed": rep_seeds[rep],
+            "stream": f"k{k}-{name}",
+        }
+        for k in k_values
+        for rep in range(repetitions)
+        for name in _SCHEMES
+    ]
+    values = iter(map_tasks(_fig5_unit, payloads))
+
+    for _k in k_values:
+        totals = {name: 0.0 for name in _SCHEMES}
+        for _rep in range(repetitions):
+            for name in _SCHEMES:
+                totals[name] += next(values)
+        for name in _SCHEMES:
             series[name].append(totals[name] / repetitions)
 
     return ExperimentResult(

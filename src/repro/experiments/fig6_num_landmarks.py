@@ -18,10 +18,38 @@ from repro.core.schemes import (
     SLScheme,
 )
 from repro.experiments.base import landmark_config
-from repro.topology.network import build_network
+from repro.runtime.cache import cached_network
+from repro.runtime.scheduler import map_tasks
 from repro.utils.rng import RngFactory
 
 PAPER_LANDMARK_COUNTS = (10, 20, 25)
+
+_SCHEMES = {
+    "sl_ms": SLScheme,
+    "random_ms": RandomLandmarksScheme,
+    "mindist_ms": MinDistLandmarksScheme,
+}
+
+
+def _fig6_unit(payload: dict) -> float:
+    """GICost of one (L, repetition, selector) work unit.
+
+    The network is fixed per repetition (it does not depend on the
+    landmark count being swept), so the topology comes from the testbed
+    cache; the selector's seed stream is derived per (L, selector).
+    """
+    network = cached_network(payload["num_caches"], payload["rep_seed"])
+    scheme = _SCHEMES[payload["scheme"]](
+        landmark_config=landmark_config(
+            payload["num_landmarks"], num_caches=payload["num_caches"]
+        )
+    )
+    grouping = scheme.form_groups(
+        network,
+        payload["num_groups"],
+        seed=RngFactory(payload["rep_seed"]).stream(payload["stream"]),
+    )
+    return average_group_interaction_cost(network, grouping)
 
 
 def run_fig6(
@@ -39,31 +67,33 @@ def run_fig6(
     if any(l < 2 for l in landmark_counts):
         raise ValueError(f"landmark counts must be >= 2: {landmark_counts}")
 
-    schemes = {
-        "sl_ms": SLScheme,
-        "random_ms": RandomLandmarksScheme,
-        "mindist_ms": MinDistLandmarksScheme,
-    }
-    series = {name: [] for name in schemes}
+    series = {name: [] for name in _SCHEMES}
     factory = RngFactory(seed)
+    rep_seeds = [
+        factory.fork(f"rep{rep}").root_seed for rep in range(repetitions)
+    ]
 
-    for l in landmark_counts:
-        lm_config = landmark_config(l, num_caches=num_caches)
-        totals = {name: 0.0 for name in schemes}
-        for rep in range(repetitions):
-            rep_factory = factory.fork(f"l{l}-rep{rep}")
-            network = build_network(
-                num_caches=num_caches, seed=rep_factory.stream("topology")
-            )
-            for name, scheme_cls in schemes.items():
-                scheme = scheme_cls(landmark_config=lm_config)
-                grouping = scheme.form_groups(
-                    network, num_groups, seed=rep_factory.stream(name)
-                )
-                totals[name] += average_group_interaction_cost(
-                    network, grouping
-                )
-        for name in schemes:
+    payloads = [
+        {
+            "num_caches": num_caches,
+            "num_groups": num_groups,
+            "num_landmarks": l,
+            "scheme": name,
+            "rep_seed": rep_seeds[rep],
+            "stream": f"l{l}-{name}",
+        }
+        for l in landmark_counts
+        for rep in range(repetitions)
+        for name in _SCHEMES
+    ]
+    values = iter(map_tasks(_fig6_unit, payloads))
+
+    for _l in landmark_counts:
+        totals = {name: 0.0 for name in _SCHEMES}
+        for _rep in range(repetitions):
+            for name in _SCHEMES:
+                totals[name] += next(values)
+        for name in _SCHEMES:
             series[name].append(totals[name] / repetitions)
 
     return ExperimentResult(

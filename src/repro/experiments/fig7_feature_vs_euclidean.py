@@ -16,11 +16,38 @@ from repro.analysis.report import ExperimentResult, SeriesResult
 from repro.core.schemes import EuclideanGNPScheme, SLScheme
 from repro.config import GNPConfig
 from repro.experiments.base import landmark_config
-from repro.topology.network import build_network
+from repro.runtime.cache import cached_network
+from repro.runtime.scheduler import map_tasks
 from repro.utils.rng import RngFactory
 
 DEFAULT_K_VALUES = (5, 10, 20, 40)
 PAPER_K_VALUES = (10, 25, 50, 75, 100)
+
+
+def _fig7_unit(payload: dict) -> float:
+    """GICost of one (K, repetition, scheme) work unit.
+
+    The network is fixed per repetition (it does not depend on K), so
+    the topology comes from the testbed cache; scheme seeds are derived
+    per (K, scheme).
+    """
+    network = cached_network(payload["num_caches"], payload["rep_seed"])
+    lm_config = landmark_config(
+        payload["num_landmarks"], num_caches=payload["num_caches"]
+    )
+    if payload["scheme"] == "sl":
+        scheme = SLScheme(landmark_config=lm_config)
+    else:
+        scheme = EuclideanGNPScheme(
+            gnp_config=GNPConfig(dimensions=payload["gnp_dimensions"]),
+            landmark_config=lm_config,
+        )
+    grouping = scheme.form_groups(
+        network,
+        payload["k"],
+        seed=RngFactory(payload["rep_seed"]).stream(payload["stream"]),
+    )
+    return average_group_interaction_cost(network, grouping)
 
 
 def run_fig7(
@@ -37,34 +64,36 @@ def run_fig7(
         num_caches = 500
         k_values = k_values or PAPER_K_VALUES
     k_values = tuple(k_values or DEFAULT_K_VALUES)
-    lm_config = landmark_config(num_landmarks, num_caches=num_caches)
-    gnp_config = GNPConfig(dimensions=gnp_dimensions)
 
     sl_series = []
     gnp_series = []
     factory = RngFactory(seed)
+    rep_seeds = [
+        factory.fork(f"rep{rep}").root_seed for rep in range(repetitions)
+    ]
 
-    for k in k_values:
+    payloads = [
+        {
+            "num_caches": num_caches,
+            "k": k,
+            "num_landmarks": num_landmarks,
+            "gnp_dimensions": gnp_dimensions,
+            "scheme": scheme,
+            "rep_seed": rep_seeds[rep],
+            "stream": f"k{k}-{scheme}",
+        }
+        for k in k_values
+        for rep in range(repetitions)
+        for scheme in ("sl", "gnp")
+    ]
+    values = iter(map_tasks(_fig7_unit, payloads))
+
+    for _k in k_values:
         sl_total = 0.0
         gnp_total = 0.0
-        for rep in range(repetitions):
-            rep_factory = factory.fork(f"k{k}-rep{rep}")
-            network = build_network(
-                num_caches=num_caches, seed=rep_factory.stream("topology")
-            )
-            sl = SLScheme(landmark_config=lm_config)
-            sl_grouping = sl.form_groups(
-                network, k, seed=rep_factory.stream("sl")
-            )
-            sl_total += average_group_interaction_cost(network, sl_grouping)
-
-            gnp = EuclideanGNPScheme(
-                gnp_config=gnp_config, landmark_config=lm_config
-            )
-            gnp_grouping = gnp.form_groups(
-                network, k, seed=rep_factory.stream("gnp")
-            )
-            gnp_total += average_group_interaction_cost(network, gnp_grouping)
+        for _rep in range(repetitions):
+            sl_total += next(values)
+            gnp_total += next(values)
         sl_series.append(sl_total / repetitions)
         gnp_series.append(gnp_total / repetitions)
 

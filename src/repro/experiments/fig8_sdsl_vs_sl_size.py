@@ -19,10 +19,36 @@ from repro.experiments.base import (
     landmark_config,
     run_simulation,
 )
+from repro.runtime.scheduler import map_tasks
 
 DEFAULT_SIZES = (60, 100, 140)
 PAPER_SIZES = (100, 200, 300, 400, 500)
 GROUP_FRACTIONS = (0.10, 0.20)
+
+
+def _fig8_unit(payload: dict) -> float:
+    """Average latency of one (size, repetition, K, scheme) work unit.
+
+    The testbed is re-fetched from the content-keyed cache by its
+    explicit seed, so each of the four scheme/K runs over one testbed is
+    an independent pure task (one Dijkstra solve per (size, rep), not
+    per unit).
+    """
+    testbed = build_testbed(payload["n"], payload["testbed_seed"])
+    lm_config = landmark_config(
+        payload["num_landmarks"], num_caches=payload["n"]
+    )
+    if payload["scheme"] == "sl":
+        scheme = SLScheme(landmark_config=lm_config)
+    else:
+        scheme = SDSLScheme(
+            sdsl_config=SDSLConfig(theta=payload["theta"]),
+            landmark_config=lm_config,
+        )
+    grouping = scheme.form_groups(
+        testbed.network, payload["k"], seed=payload["group_seed"]
+    )
+    return run_simulation(testbed, grouping).average_latency_ms()
 
 
 def run_fig8(
@@ -51,30 +77,29 @@ def run_fig8(
         "sl_k20_ms": [],
         "sdsl_k20_ms": [],
     }
-    for n in sizes:
-        lm_config = landmark_config(num_landmarks, num_caches=n)
+    payloads = [
+        {
+            "n": n,
+            "k": max(2, round(fraction * n)),
+            "num_landmarks": num_landmarks,
+            "theta": theta,
+            "scheme": scheme,
+            "testbed_seed": seed + 1000 * rep + n,
+            "group_seed": seed + rep,
+        }
+        for n in sizes
+        for rep in range(repetitions)
+        for fraction in GROUP_FRACTIONS
+        for scheme in ("sl", "sdsl")
+    ]
+    values = iter(map_tasks(_fig8_unit, payloads))
+
+    for _n in sizes:
         totals = {name: 0.0 for name in series}
-        for rep in range(repetitions):
-            testbed = build_testbed(n, seed + 1000 * rep + n)
-            for fraction, suffix in zip(GROUP_FRACTIONS, ("k10", "k20")):
-                k = max(2, round(fraction * n))
-                sl = SLScheme(landmark_config=lm_config)
-                sl_grouping = sl.form_groups(
-                    testbed.network, k, seed=seed + rep
-                )
-                totals[f"sl_{suffix}_ms"] += run_simulation(
-                    testbed, sl_grouping
-                ).average_latency_ms()
-                sdsl = SDSLScheme(
-                    sdsl_config=SDSLConfig(theta=theta),
-                    landmark_config=lm_config,
-                )
-                sdsl_grouping = sdsl.form_groups(
-                    testbed.network, k, seed=seed + rep
-                )
-                totals[f"sdsl_{suffix}_ms"] += run_simulation(
-                    testbed, sdsl_grouping
-                ).average_latency_ms()
+        for _rep in range(repetitions):
+            for suffix in ("k10", "k20"):
+                totals[f"sl_{suffix}_ms"] += next(values)
+                totals[f"sdsl_{suffix}_ms"] += next(values)
         for name in series:
             series[name].append(totals[name] / repetitions)
 

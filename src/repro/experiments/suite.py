@@ -22,6 +22,13 @@ from repro.experiments.registry import REGISTRY
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.profiling import PhaseRegistry, activate
 from repro.persist import save_manifest, save_result
+from repro.runtime.cache import (
+    STAT_FIELDS,
+    configure_cache,
+    get_cache,
+    stats_delta,
+)
+from repro.runtime.scheduler import TaskScheduler, use_scheduler
 
 PathLike = Union[str, Path]
 
@@ -59,11 +66,19 @@ def run_suite(
     paper_scale: bool = False,
     repetitions: Optional[int] = None,
     seed: Optional[int] = None,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
 ) -> SuiteRun:
     """Run the selected figures (default: all) and archive results.
 
     ``output_dir`` (when given) receives ``<fig>.json``, ``<fig>.csv``
     and a combined ``summary.md``; it is created if missing.
+
+    ``jobs`` fans each figure's independent work units across that many
+    worker processes (see :mod:`repro.runtime.scheduler`); results are
+    bit-identical to ``jobs=1``.  ``cache_dir`` enables the on-disk
+    testbed cache (``results/cache/`` by convention), persisting built
+    networks/workloads across runs and worker processes.
     """
     selected = list(figures) if figures is not None else sorted(REGISTRY)
     unknown = [f for f in selected if f not in REGISTRY]
@@ -78,33 +93,47 @@ def run_suite(
         out_path = Path(output_dir)
         out_path.mkdir(parents=True, exist_ok=True)
 
+    if cache_dir is not None:
+        configure_cache(disk_dir=cache_dir)
+    cache = get_cache()
+
     results: Dict[str, ExperimentResult] = {}
     manifests: Dict[str, RunManifest] = {}
-    for experiment_id in selected:
-        kwargs = {}
-        if paper_scale:
-            kwargs["paper_scale"] = True
-        if seed is not None:
-            kwargs["seed"] = seed
-        if repetitions is not None and experiment_id in _SUPPORTS_REPETITIONS:
-            kwargs["repetitions"] = repetitions
-        registry = PhaseRegistry()
-        with activate(registry), registry.time(experiment_id):
-            result = REGISTRY[experiment_id](**kwargs)
-        results[experiment_id] = result
-        manifest = build_manifest(
-            label=experiment_id, seed=seed, registry=registry
-        )
-        manifest.config = {k: v for k, v in kwargs.items()}
-        manifests[experiment_id] = manifest
-        if out_path is not None:
-            save_result(result, out_path / f"{experiment_id}.json")
-            export_experiment_result(
-                result, out_path / f"{experiment_id}.csv"
+    scheduler = TaskScheduler(jobs)
+    with scheduler, use_scheduler(scheduler):
+        for experiment_id in selected:
+            kwargs = {}
+            if paper_scale:
+                kwargs["paper_scale"] = True
+            if seed is not None:
+                kwargs["seed"] = seed
+            if (repetitions is not None
+                    and experiment_id in _SUPPORTS_REPETITIONS):
+                kwargs["repetitions"] = repetitions
+            registry = PhaseRegistry()
+            cache_before = cache.stats()
+            with activate(registry), registry.time(experiment_id):
+                result = REGISTRY[experiment_id](**kwargs)
+            cache_stats = stats_delta(cache_before, cache.stats())
+            results[experiment_id] = result
+            manifest = build_manifest(
+                label=experiment_id, seed=seed, registry=registry
             )
-            save_manifest(
-                manifest, out_path / f"{experiment_id}.manifest.json"
-            )
+            manifest.config = {k: v for k, v in kwargs.items()}
+            manifest.config["jobs"] = jobs
+            manifest.run_stats.update({
+                f"testbed_cache_{name}": float(cache_stats.get(name, 0))
+                for name in STAT_FIELDS
+            })
+            manifests[experiment_id] = manifest
+            if out_path is not None:
+                save_result(result, out_path / f"{experiment_id}.json")
+                export_experiment_result(
+                    result, out_path / f"{experiment_id}.csv"
+                )
+                save_manifest(
+                    manifest, out_path / f"{experiment_id}.manifest.json"
+                )
 
     run = SuiteRun(results=results, output_dir=out_path, manifests=manifests)
     if out_path is not None:

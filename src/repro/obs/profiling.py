@@ -68,11 +68,24 @@ class PhaseRegistry:
         """Phase name -> total seconds, JSON-friendly."""
         return {name: t.total_s for name, t in self._phases.items()}
 
-    def merge_totals(self, totals: Dict[str, float]) -> None:
-        """Fold a ``name -> seconds`` mapping into this registry."""
+    def merge_totals(
+        self, totals: Dict[str, float], prefix: str = ""
+    ) -> None:
+        """Fold a ``name -> seconds`` mapping into this registry.
+
+        ``prefix`` qualifies every merged name (slash-joined), letting a
+        scheduler splice worker-side timings under the phase the parent
+        currently has open — so a pooled run's manifest carries the same
+        nested names a serial run would.
+        """
         for name, seconds in totals.items():
-            timing = self._phases.setdefault(name, PhaseTiming())
+            qualified = f"{prefix}/{name}" if prefix else name
+            timing = self._phases.setdefault(qualified, PhaseTiming())
             timing.record(seconds)
+
+    def current_path(self) -> str:
+        """The slash-joined stack of currently-open phases ("" if none)."""
+        return "/".join(self._stack)
 
     def __len__(self) -> int:
         return len(self._phases)

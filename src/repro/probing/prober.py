@@ -101,28 +101,76 @@ class Prober:
     ) -> np.ndarray:
         """Measured RTTs from ``source`` to each of ``targets``.
 
-        Vectorised over targets; one entry per target, in order.
+        Fully vectorised: one ``(pairs, probe_count)`` noise draw covers
+        every non-self target.  The numpy ``Generator`` fills arrays
+        from the same bit stream an equivalent sequence of per-target
+        draws would consume, so results are bit-identical to probing
+        each target in its own :meth:`measure` call (regression-tested).
         """
         self._check_node(source)
-        out = np.empty(len(targets), dtype=float)
-        for i, target in enumerate(targets):
-            out[i] = self.measure(source, target)
+        targets = list(targets)
+        for target in targets:
+            self._check_node(target)
+        if not targets:
+            return np.empty(0, dtype=float)
+        idx = np.asarray(targets, dtype=int)
+        true_rtts = self._network.distances.row(source)[idx]
+        out = self._observe(true_rtts, idx != source)
+        probe_count = self._config.probe_count
+        for target in targets:
+            if target != source:
+                self.stats.record(source, target, probe_count)
         return out
 
     def measure_matrix(self, nodes: Sequence[NodeId]) -> np.ndarray:
         """Full measured RTT matrix among ``nodes`` (symmetric).
 
         Each unordered pair is probed once and mirrored, matching how
-        potential landmarks probe each other in SL step 1.
+        potential landmarks probe each other in SL step 1.  Vectorised
+        over the upper triangle in the same row-major pair order the
+        per-pair loop used, so the noise stream (and hence the measured
+        matrix) is unchanged.
         """
+        nodes = list(nodes)
+        for node in nodes:
+            self._check_node(node)
         n = len(nodes)
         matrix = np.zeros((n, n), dtype=float)
-        for i in range(n):
-            for j in range(i + 1, n):
-                rtt = self.measure(nodes[i], nodes[j])
-                matrix[i, j] = rtt
-                matrix[j, i] = rtt
+        if n < 2:
+            return matrix
+        iu, ju = np.triu_indices(n, k=1)
+        node_arr = np.asarray(nodes, dtype=int)
+        sources, dests = node_arr[iu], node_arr[ju]
+        rtt = self._network.distances.as_array()
+        true_rtts = rtt[sources, dests]
+        values = self._observe(true_rtts, sources != dests)
+        probe_count = self._config.probe_count
+        for source, dest in zip(sources, dests):
+            if source != dest:
+                self.stats.record(int(source), int(dest), probe_count)
+        matrix[iu, ju] = values
+        matrix[ju, iu] = values
         return matrix
+
+    def _observe(
+        self, true_rtts: np.ndarray, probed: np.ndarray
+    ) -> np.ndarray:
+        """Mean of ``probe_count`` noisy observations per probed entry.
+
+        Entries where ``probed`` is False (self-probes) are fixed at 0.0
+        and consume no randomness, exactly as :meth:`measure` returns
+        0.0 without drawing noise for ``source == target``.
+        """
+        out = np.zeros(len(true_rtts), dtype=float)
+        count = int(probed.sum())
+        if count:
+            probe_count = self._config.probe_count
+            stacked = np.broadcast_to(
+                true_rtts[probed][:, None], (count, probe_count)
+            )
+            observations = self._noise.perturb(stacked, self._rng)
+            out[probed] = observations.mean(axis=1)
+        return out
 
     def _check_node(self, node: NodeId) -> None:
         if not 0 <= node < self._network.distances.size:

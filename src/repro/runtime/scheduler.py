@@ -1,0 +1,152 @@
+"""Process-pool task scheduling for the experiment suite.
+
+Every figure in the paper's evaluation decomposes into independent
+``(figure, size, repetition, scheme)`` work units: each unit derives its
+own seeds (via :class:`~repro.utils.rng.RngFactory`), builds or fetches
+its own testbed, and returns plain floats.  :class:`TaskScheduler` fans
+those units across a process pool and reassembles results **in task
+order**, so a parallel run is bit-identical to a serial one — the same
+pure functions run on the same explicit inputs, only on different
+processes.
+
+Schedulers are *ambient*, mirroring :mod:`repro.obs.profiling`: a
+figure runner calls :func:`map_tasks` and transparently picks up
+whatever scheduler ``run_suite``/the CLI activated (serial execution
+when none is active).  Task functions must be module-level (picklable)
+and take a single argument.
+
+Worker-side observability is not lost: each task runs under a fresh
+:class:`~repro.obs.profiling.PhaseRegistry` and the scheduler merges
+the per-phase totals back into the parent's ambient registry, so the
+figure's :class:`~repro.obs.manifest.RunManifest` still carries
+``testbed/*`` and ``simulate`` timings.  Testbed-cache hit/miss deltas
+are merged the same way (see :mod:`repro.runtime.cache`).
+
+The pool prefers the ``fork`` start method (cheap workers that inherit
+the parent's warm in-memory cache); where only ``spawn`` is available
+workers start cold and lean on the shared disk cache instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.profiling import PhaseRegistry, activate, current_registry
+from repro.runtime.cache import get_cache, stats_delta
+
+#: A task's remote outcome: (value, phase totals, cache counter delta).
+TaskOutcome = Tuple[Any, Dict[str, float], Dict[str, int]]
+
+
+def run_task(payload: Tuple[Callable[[Any], Any], Any]) -> TaskOutcome:
+    """Execute one task in a worker, capturing its observability.
+
+    Module-level so it is picklable by every start method.  The task
+    runs under a private :class:`PhaseRegistry`; its phase totals and
+    the worker cache's counter delta ride back with the value.
+    """
+    fn, arg = payload
+    cache_before = get_cache().stats()
+    registry = PhaseRegistry()
+    with activate(registry):
+        value = fn(arg)
+    delta = stats_delta(cache_before, get_cache().stats())
+    return value, registry.total_seconds(), delta
+
+
+class TaskScheduler:
+    """Order-preserving map over independent work units.
+
+    ``jobs=1`` executes inline (no pool, no pickling, ambient timers
+    work directly).  ``jobs>1`` lazily creates a process pool that is
+    reused across :meth:`map` calls until :meth:`shutdown` (or context
+    exit).
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self._jobs = jobs
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    def __enter__(self) -> "TaskScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._jobs, mp_context=context
+            )
+        return self._executor
+
+    def map(
+        self, fn: Callable[[Any], Any], args: Sequence[Any]
+    ) -> List[Any]:
+        """Apply ``fn`` to every element of ``args``, preserving order."""
+        args = list(args)
+        if self._jobs == 1 or len(args) <= 1:
+            return [fn(arg) for arg in args]
+
+        outcomes = list(
+            self._pool().map(run_task, [(fn, arg) for arg in args])
+        )
+        registry = current_registry()
+        prefix = registry.current_path() if registry is not None else ""
+        cache = get_cache()
+        values: List[Any] = []
+        for value, phase_totals, cache_delta in outcomes:
+            if registry is not None and phase_totals:
+                registry.merge_totals(phase_totals, prefix=prefix)
+            if cache_delta:
+                cache.absorb_stats(cache_delta)
+            values.append(value)
+        return values
+
+    def shutdown(self) -> None:
+        """Tear down the pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+
+_ACTIVE: ContextVar[Optional[TaskScheduler]] = ContextVar(
+    "repro_runtime_scheduler", default=None
+)
+
+
+def active_scheduler() -> Optional[TaskScheduler]:
+    """The scheduler :func:`map_tasks` currently routes through, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_scheduler(scheduler: TaskScheduler) -> Iterator[TaskScheduler]:
+    """Make ``scheduler`` the ambient target of :func:`map_tasks`."""
+    token = _ACTIVE.set(scheduler)
+    try:
+        yield scheduler
+    finally:
+        _ACTIVE.reset(token)
+
+
+def map_tasks(fn: Callable[[Any], Any], args: Sequence[Any]) -> List[Any]:
+    """Map through the ambient scheduler (inline when none is active)."""
+    scheduler = _ACTIVE.get()
+    if scheduler is None:
+        return [fn(arg) for arg in args]
+    return scheduler.map(fn, args)

@@ -47,7 +47,14 @@ class SimulationEngine:
         group_protocol_mode: str = "beacon",
         failures: Sequence[Union[CacheFailEvent, CacheRecoverEvent]] = (),
         observer: Optional[Observer] = None,
+        event_loop: str = "sorted",
     ) -> None:
+        if event_loop not in ("sorted", "heap"):
+            raise SimulationError(
+                f"unknown event loop {event_loop!r} "
+                f"(expected 'sorted' or 'heap')"
+            )
+        self._event_loop = event_loop
         self._config = config or SimulationConfig()
         # Single gate for all instrumentation: when no instrument is
         # attached the per-event overhead is one cached boolean check.
@@ -136,6 +143,15 @@ class SimulationEngine:
         )
         self._processed_requests = 0
 
+        # Exact-type handler table: the event union is closed, so a
+        # single dict lookup replaces the isinstance chain in run().
+        self._handlers = {
+            RequestEvent: self._handle_request,
+            OriginUpdateEvent: self._handle_update,
+            CacheFailEvent: self._handle_fail,
+            CacheRecoverEvent: self._handle_recover,
+        }
+
     @property
     def metrics(self) -> SimulationMetrics:
         return self._metrics
@@ -159,13 +175,27 @@ class SimulationEngine:
         return self._observer
 
     def run(self) -> SimulationMetrics:
-        """Process every event; returns the collected metrics."""
+        """Process every event; returns the collected metrics.
+
+        The default ``"sorted"`` fast path pre-merges the request,
+        update, and failure streams into one timestamp-sorted array —
+        valid because every event is known up front and nothing is ever
+        scheduled into the future — and dispatches through the per-type
+        handler table.  The ``"heap"`` path keeps the classic per-event
+        ``heapq`` pop; both orders are identical by construction
+        (regression-tested), the heap path exists as the measurement
+        baseline and paranoia fallback.
+        """
         sampler = self._observer.sampler if self._instrumented else None
+        handlers = self._handlers
         started = time.perf_counter()
         events_processed = 0
         now = 0.0
-        while self._events:
-            event = self._events.pop()
+        if self._event_loop == "sorted":
+            pending = iter(self._events.drain_sorted())
+        else:
+            pending = self._heap_order()
+        for event in pending:
             events_processed += 1
             now = event.timestamp_ms
             if sampler is not None:
@@ -175,16 +205,10 @@ class SimulationEngine:
                 while tick is not None:
                     sampler.flush(tick, **self._sample_gauges(tick))
                     tick = sampler.next_due(now)
-            if isinstance(event, RequestEvent):
-                self._handle_request(event)
-            elif isinstance(event, OriginUpdateEvent):
-                self._handle_update(event)
-            elif isinstance(event, CacheFailEvent):
-                self._handle_fail(event)
-            elif isinstance(event, CacheRecoverEvent):
-                self._handle_recover(event)
-            else:  # pragma: no cover - event union is closed
+            handler = handlers.get(type(event))
+            if handler is None:  # pragma: no cover - event union is closed
                 raise SimulationError(f"unknown event {event!r}")
+            handler(event)
         if sampler is not None:
             sampler.finalize(now, **self._sample_gauges(now))
         if self._observer is not NULL_OBSERVER:
@@ -196,6 +220,11 @@ class SimulationEngine:
         if not self._metrics.conservation_holds():
             raise SimulationError("request conservation violated")
         return self._metrics
+
+    def _heap_order(self):
+        """Yield events via per-event heap pops (the legacy loop body)."""
+        while self._events:
+            yield self._events.pop()
 
     def _sample_gauges(self, now_ms: float) -> Dict[str, float]:
         """Point-in-time gauges attached to each flushed sample."""

@@ -113,6 +113,22 @@ class EventQueue:
         self._last_popped_ms = timestamp
         return event
 
+    def drain_sorted(self) -> List[Event]:
+        """Remove and return *all* events in pop order, in one shot.
+
+        The engine knows every event up front and never schedules into
+        the future, so the per-event heap discipline is pure overhead:
+        one ``sort`` over the ``(timestamp, priority, sequence)`` keys
+        yields exactly the sequence ``pop`` would produce.  Afterwards
+        the queue is empty and ``now_ms`` reports the final timestamp,
+        the same state a pop-until-empty loop leaves behind.
+        """
+        ordered = sorted(self._heap)
+        self._heap.clear()
+        if ordered:
+            self._last_popped_ms = ordered[-1][0]
+        return [entry[3] for entry in ordered]
+
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next event, or None when empty."""
         if not self._heap:
@@ -121,5 +137,12 @@ class EventQueue:
 
     @property
     def now_ms(self) -> float:
-        """Timestamp of the most recently popped event (sim clock)."""
-        return self._last_popped_ms if self._heap or self._sequence else 0.0
+        """Timestamp of the most recently popped event (sim clock).
+
+        0.0 until the first pop — including for a queue that has had
+        events pushed but not yet popped — and thereafter the last
+        popped timestamp, even once the queue is exhausted.
+        """
+        if self._last_popped_ms == -float("inf"):
+            return 0.0
+        return self._last_popped_ms

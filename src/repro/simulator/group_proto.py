@@ -82,6 +82,10 @@ class GroupProtocol:
         self._grouping = grouping
         self._lookup_ms = group_lookup_ms
         self._mode = mode
+        # The raw RTT matrix, read directly on the per-request hot path
+        # (node ids are validated once at construction; the checked
+        # DistanceMatrix API costs ~3x per lookup).
+        self._rtt_ms = network.distances.as_array()
         # Shared, caller-mutated set of currently-failed caches; lookups
         # never return them and beacons hosted on them cannot answer.
         self._unavailable: Set[NodeId] = (
@@ -98,8 +102,9 @@ class GroupProtocol:
                 self._peers[member] = peers
                 self._members_sorted[member] = members
                 if peers:
-                    rtts = [network.rtt(member, p) for p in peers]
-                    self._max_peer_rtt[member] = max(rtts)
+                    self._max_peer_rtt[member] = float(
+                        self._rtt_ms[member][peers].max()
+                    )
                 else:
                     self._max_peer_rtt[member] = 0.0
 
@@ -180,6 +185,7 @@ class GroupProtocol:
             )
 
         holders = self.holders_in_group(cache, doc_id)
+        rtt_row = self._rtt_ms[cache]
         if self._mode == "directory":
             query_ms = self._lookup_ms
             messages = 2  # directory request + reply
@@ -188,7 +194,7 @@ class GroupProtocol:
             # Asking yourself is free; otherwise one round trip to the
             # hash-designated beacon member.
             query_ms = self._lookup_ms + (
-                0.0 if beacon == cache else self._network.rtt(cache, beacon)
+                0.0 if beacon == cache else float(rtt_row[beacon])
             )
             messages = 0 if beacon == cache else 2
             if beacon != cache and beacon in self._unavailable:
@@ -205,21 +211,22 @@ class GroupProtocol:
             live_peers = [p for p in peers if p not in self._unavailable]
             if holders:
                 # Proceed on the nearest holder's positive reply.
-                nearest = min(holders, key=lambda h: self._network.rtt(cache, h))
-                query_ms = self._lookup_ms + self._network.rtt(cache, nearest)
+                query_ms = self._lookup_ms + self._nearest_rtt(
+                    rtt_row, holders
+                )[1]
             elif live_peers:
                 # Must collect every live peer's negative reply before
                 # giving up (down peers simply never answer; we charge
                 # the live-peer wait, not a timeout).
                 query_ms = self._lookup_ms + max(
-                    self._network.rtt(cache, p) for p in live_peers
+                    float(rtt_row[p]) for p in live_peers
                 )
             else:
                 query_ms = self._lookup_ms
             messages = len(peers) + len(live_peers)  # queries + live replies
 
         if holders:
-            nearest = min(holders, key=lambda h: self._network.rtt(cache, h))
+            nearest, _ = self._nearest_rtt(rtt_row, holders)
             return LookupResult(
                 outcome=LookupOutcome.GROUP_HIT,
                 holder=nearest,
@@ -232,6 +239,23 @@ class GroupProtocol:
             query_ms=query_ms,
             messages=messages,
         )
+
+    @staticmethod
+    def _nearest_rtt(rtt_row, candidates):
+        """The first-minimum candidate and its RTT from a raw matrix row.
+
+        Semantics match ``min(candidates, key=rtt)``: strict-less
+        comparison, first winner on ties — so swapping this in keeps
+        results bit-identical to the checked-API implementation.
+        """
+        best = candidates[0]
+        best_rtt = rtt_row[best]
+        for candidate in candidates[1:]:
+            rtt = rtt_row[candidate]
+            if rtt < best_rtt:
+                best_rtt = rtt
+                best = candidate
+        return best, float(best_rtt)
 
     def beacon_of(self, cache: NodeId, doc_id: DocumentId) -> NodeId:
         """The group member designated beacon for a document.

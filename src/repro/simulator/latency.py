@@ -60,17 +60,24 @@ class LatencyModel:
         config.validate()
         self._network = network
         self._config = config
+        # Hot-path shortcuts: the raw RTT matrix (node ids on the
+        # per-request path were validated at engine construction) and
+        # the flat per-request constants.
+        self._rtt_ms = network.distances.as_array()
+        self._origin_id = network.origin
+        self._local_ms = config.cache.local_processing_ms
+        self._bandwidth = config.link_bandwidth_bytes_per_ms
 
     def transfer_ms(self, size_bytes: int) -> float:
         """Transmission time of a document over the modelled link."""
         if size_bytes < 0:
             raise SimulationError(f"negative size {size_bytes}")
-        return size_bytes / self._config.link_bandwidth_bytes_per_ms
+        return size_bytes / self._bandwidth
 
     def local_hit(self) -> ServiceAccount:
         return ServiceAccount(
             path=ServicePath.LOCAL_HIT,
-            total_ms=self._config.cache.local_processing_ms,
+            total_ms=self._local_ms,
             query_ms=0.0,
             fetch_ms=0.0,
             transfer_ms=0.0,
@@ -83,14 +90,9 @@ class LatencyModel:
         size_bytes: int,
         query_ms: float,
     ) -> ServiceAccount:
-        fetch = self._network.rtt(cache, holder)
+        fetch = float(self._rtt_ms[cache, holder])
         transfer = self.transfer_ms(size_bytes)
-        total = (
-            self._config.cache.local_processing_ms
-            + query_ms
-            + fetch
-            + transfer
-        )
+        total = self._local_ms + query_ms + fetch + transfer
         return ServiceAccount(
             path=ServicePath.GROUP_HIT,
             total_ms=total,
@@ -114,16 +116,9 @@ class LatencyModel:
             raise SimulationError(
                 f"processing_ms must be >= 0, got {processing_ms}"
             )
-        fetch = (
-            self._network.rtt(cache, self._network.origin) + processing_ms
-        )
+        fetch = float(self._rtt_ms[cache, self._origin_id]) + processing_ms
         transfer = self.transfer_ms(size_bytes)
-        total = (
-            self._config.cache.local_processing_ms
-            + query_ms
-            + fetch
-            + transfer
-        )
+        total = self._local_ms + query_ms + fetch + transfer
         return ServiceAccount(
             path=ServicePath.ORIGIN_FETCH,
             total_ms=total,

@@ -93,6 +93,7 @@ def simulate(
     group_protocol_mode: str = "beacon",
     failures: Sequence = (),
     observer: Optional[Observer] = None,
+    event_loop: str = "sorted",
 ) -> SimulationResult:
     """Run the cooperative edge cache network simulation to completion.
 
@@ -121,6 +122,7 @@ def simulate(
         group_protocol_mode=group_protocol_mode,
         failures=failures,
         observer=observer,
+        event_loop=event_loop,
     )
     metrics = engine.run()
     return SimulationResult(

@@ -80,12 +80,18 @@ class DistanceMatrix:
         return self._rtt
 
     def nearest_to(self, node: NodeId, candidates: Sequence[NodeId]) -> NodeId:
-        """The candidate with the smallest RTT to ``node``."""
-        if not len(candidates):
+        """The candidate with the smallest RTT to ``node``.
+
+        Ties resolve to the earliest candidate (``np.argmin`` returns
+        the first minimum), matching the previous ``min()`` semantics.
+        """
+        idx = np.asarray(list(candidates), dtype=int)
+        if idx.size == 0:
             raise ValueError("candidates must be non-empty")
+        if idx.min() < 0 or idx.max() >= self.size:
+            raise TopologyError(f"candidate ids out of range: {candidates!r}")
         row = self.row(node)
-        best = min(candidates, key=lambda c: row[c])
-        return int(best)
+        return int(idx[int(np.argmin(row[idx]))])
 
     def _check(self, node: NodeId) -> None:
         if not 0 <= node < self.size:
@@ -129,11 +135,17 @@ def compute_rtt_matrix(
 def pairwise_rtt(
     matrix: DistanceMatrix, nodes: Sequence[NodeId]
 ) -> List[float]:
-    """All unordered-pair RTTs among ``nodes`` (used by GICost)."""
-    values: List[float] = []
-    nodes = list(nodes)
-    for i, a in enumerate(nodes):
-        row = matrix.row(a)
-        for b in nodes[i + 1:]:
-            values.append(float(row[b]))
-    return values
+    """All unordered-pair RTTs among ``nodes`` (used by GICost).
+
+    Vectorised: one fancy-indexed submatrix gather plus
+    ``np.triu_indices`` replaces the previous nested Python loop, whose
+    row-major ``(i, j > i)`` pair order this preserves exactly.
+    """
+    idx = np.asarray(list(nodes), dtype=int)
+    if idx.size < 2:
+        return []
+    if idx.min() < 0 or idx.max() >= matrix.size:
+        raise TopologyError(f"node ids out of range: {nodes!r}")
+    sub = matrix.as_array()[np.ix_(idx, idx)]
+    iu, ju = np.triu_indices(idx.size, k=1)
+    return sub[iu, ju].tolist()

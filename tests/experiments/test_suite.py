@@ -47,7 +47,7 @@ class TestRunSuite:
         manifest = run.manifests["fig4"]
         assert manifest.label == "fig4"
         assert manifest.seed == 9
-        assert manifest.config == {"seed": 9, "repetitions": 1}
+        assert manifest.config == {"seed": 9, "repetitions": 1, "jobs": 1}
         # the figure phase plus the nested GF-Coordinator stages
         assert "fig4" in manifest.phase_timings_s
         assert any(

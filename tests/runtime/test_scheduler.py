@@ -1,0 +1,89 @@
+"""Tests for the process-pool task scheduler."""
+
+import pytest
+
+from repro.obs.profiling import PhaseRegistry, activate, phase_timer
+from repro.runtime.cache import get_cache, reset_cache
+from repro.runtime.scheduler import (
+    TaskScheduler,
+    active_scheduler,
+    map_tasks,
+    use_scheduler,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_cache()
+    yield
+    reset_cache()
+
+
+def _square(x):
+    return x * x
+
+
+def _timed_square(x):
+    with phase_timer("square"):
+        return x * x
+
+
+def _cache_probe(x):
+    get_cache().get_or_build(f"probe-{x % 2}", lambda: x)
+    return x
+
+
+class TestTaskScheduler:
+    def test_inline_map_preserves_order(self):
+        with TaskScheduler(1) as scheduler:
+            assert scheduler.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_map_preserves_order(self):
+        with TaskScheduler(2) as scheduler:
+            assert scheduler.map(_square, list(range(8))) == [
+                x * x for x in range(8)
+            ]
+
+    def test_single_item_runs_inline(self):
+        with TaskScheduler(4) as scheduler:
+            assert scheduler.map(_square, [5]) == [25]
+            assert scheduler._executor is None  # pool never spun up
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            TaskScheduler(0)
+
+    def test_worker_phase_totals_merged_under_open_phase(self):
+        registry = PhaseRegistry()
+        with activate(registry), registry.time("fig"):
+            with TaskScheduler(2) as scheduler:
+                scheduler.map(_timed_square, [1, 2, 3])
+        totals = registry.total_seconds()
+        assert "fig/square" in totals
+        assert totals["fig/square"] >= 0.0
+
+    def test_worker_cache_stats_merged(self):
+        with TaskScheduler(2) as scheduler:
+            scheduler.map(_cache_probe, [1, 2, 3, 4])
+        stats = get_cache().stats()
+        # Every worker miss/hit is visible in the parent's counters.
+        assert stats["hits"] + stats["misses"] == 4
+
+    def test_shutdown_idempotent(self):
+        scheduler = TaskScheduler(2)
+        scheduler.map(_square, [1, 2])
+        scheduler.shutdown()
+        scheduler.shutdown()
+
+
+class TestAmbientScheduler:
+    def test_no_scheduler_runs_inline(self):
+        assert active_scheduler() is None
+        assert map_tasks(_square, [2, 3]) == [4, 9]
+
+    def test_use_scheduler_routes_map_tasks(self):
+        with TaskScheduler(1) as scheduler:
+            with use_scheduler(scheduler):
+                assert active_scheduler() is scheduler
+                assert map_tasks(_square, [2, 3]) == [4, 9]
+            assert active_scheduler() is None
