@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples suite clean
+.PHONY: install lint test check bench bench-tables examples suite clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
+# repro lint always runs (stdlib-only); ruff/mypy are dev-extra tools
+# (pip install -e .[dev]) and are skipped gracefully when absent so
+# `make lint` works in minimal containers.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint
+	@if command -v ruff >/dev/null 2>&1; then ruff check; \
+		else echo "ruff not installed; skipping (pip install -e .[dev])"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+		else echo "mypy not installed; skipping (pip install -e .[dev])"; fi
+
 test:
 	$(PYTHON) -m pytest tests/
+
+check: lint test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

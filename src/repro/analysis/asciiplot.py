@@ -7,7 +7,7 @@ plotting dependency.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from repro.analysis.report import ExperimentResult
 from repro.errors import ReproError

@@ -9,7 +9,7 @@ results into a CI-able reproduction check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.analysis.report import ExperimentResult
 from repro.errors import ReproError

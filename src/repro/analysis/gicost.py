@@ -14,7 +14,6 @@ also get no cooperation benefit, which the latency metric captures).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Optional
 
 from repro.core.groups import CacheGroup, GroupingResult
 from repro.errors import SchemeError

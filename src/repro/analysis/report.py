@@ -8,7 +8,7 @@ prints as the same rows/series the corresponding paper figure reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict
 
 from repro.errors import ReproError
 from repro.utils.tables import Table

@@ -15,7 +15,10 @@ prints its table (optionally an ASCII sketch of the curves); results
 can be archived as JSON/CSV for later comparison.  ``repro simulate``
 optionally instruments the run (``--trace``, ``--sample-ms``,
 ``--manifest``); ``repro report`` pretty-prints an archived manifest
-and its time-series summary.
+and its time-series summary.  ``repro lint`` runs the determinism
+invariant linter (see :mod:`repro.lint` and docs/static-analysis.md)::
+
+    repro lint [paths...] [--format json] [--baseline PATH]
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from repro.config import LandmarkConfig, WorkloadConfig, DocumentConfig
 from repro.core.schemes import scheme_by_name
 from repro.errors import ReproError
 from repro.experiments import REGISTRY, run_experiment
+from repro.lint.cli import configure_parser as configure_lint_parser
 from repro.persist import (
     load_grouping,
     load_network,
@@ -166,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist built networks/workloads under DIR "
              "(e.g. results/cache) and reuse them across runs",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="check the determinism / simulated-time / fork-safety "
+             "invariants (repro.lint)",
+    )
+    configure_lint_parser(lint)
 
     cmp_parser = sub.add_parser(
         "compare", help="diff two archived experiment results (JSON)"
@@ -433,6 +444,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import compare_results
     from repro.persist import load_result
@@ -450,6 +467,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "report": _cmd_report,
     "experiment": _cmd_experiment,
+    "lint": _cmd_lint,
     "compare": _cmd_compare,
 }
 

@@ -10,7 +10,6 @@ provided as a modern extension baseline for the ablation benches.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

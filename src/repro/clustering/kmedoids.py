@@ -9,8 +9,6 @@ how much accuracy the feature-vector indirection costs.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.clustering.assignments import Clustering

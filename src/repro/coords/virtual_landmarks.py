@@ -29,16 +29,16 @@ def virtual_landmark_embedding(
     components explaining 95% of the variance (at least 2).
     """
     matrix = np.asarray(features.matrix, dtype=float)
-    n, l = matrix.shape
+    n, num_features = matrix.shape
     if n < 2:
         raise EmbeddingError("need at least 2 nodes to embed")
-    if dimensions is not None and not 1 <= dimensions <= l:
+    if dimensions is not None and not 1 <= dimensions <= num_features:
         raise EmbeddingError(
-            f"dimensions must be in [1, {l}], got {dimensions}"
+            f"dimensions must be in [1, {num_features}], got {dimensions}"
         )
 
     data = matrix - matrix.mean(axis=0) if center else matrix
-    # SVD of the (n, l) data matrix: principal axes are the right
+    # SVD of the (n, num_features) data matrix: principal axes are the right
     # singular vectors; projections are U * S.
     u, s, _vt = np.linalg.svd(data, full_matrices=False)
     if dimensions is None:

@@ -10,7 +10,7 @@ feature vectors for the cache-grouping task.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -10,7 +10,6 @@ intermediate state.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -23,7 +22,12 @@ from repro.core.groups import GroupingResult, groups_from_labels
 from repro.errors import SchemeError
 from repro.landmarks.base import LandmarkSelector, LandmarkSet
 from repro.landmarks.feature_vectors import FeatureVectors, build_feature_vectors
-from repro.obs.profiling import PhaseRegistry, activate, current_registry
+from repro.obs.profiling import (
+    PhaseRegistry,
+    activate,
+    current_registry,
+    perf_seconds,
+)
 from repro.probing.prober import Prober
 from repro.topology.network import EdgeCacheNetwork
 from repro.utils.rng import RngFactory, SeedLike
@@ -87,12 +91,12 @@ class GFCoordinator:
             with activate(self._phases), self._phases.time(step):
                 yield
             return
-        start = time.perf_counter()
+        start = perf_seconds()
         try:
             with ambient.time(step):
                 yield
         finally:
-            self._phases.merge_totals({step: time.perf_counter() - start})
+            self._phases.merge_totals({step: perf_seconds() - start})
 
     # -- step 1 ----------------------------------------------------------
 

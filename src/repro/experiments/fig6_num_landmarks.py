@@ -64,7 +64,7 @@ def run_fig6(
     if paper_scale:
         num_caches = 500
     landmark_counts = tuple(landmark_counts or PAPER_LANDMARK_COUNTS)
-    if any(l < 2 for l in landmark_counts):
+    if any(count < 2 for count in landmark_counts):
         raise ValueError(f"landmark counts must be >= 2: {landmark_counts}")
 
     series = {name: [] for name in _SCHEMES}
@@ -77,12 +77,12 @@ def run_fig6(
         {
             "num_caches": num_caches,
             "num_groups": num_groups,
-            "num_landmarks": l,
+            "num_landmarks": count,
             "scheme": name,
             "rep_seed": rep_seeds[rep],
-            "stream": f"l{l}-{name}",
+            "stream": f"l{count}-{name}",
         }
-        for l in landmark_counts
+        for count in landmark_counts
         for rep in range(repetitions)
         for name in _SCHEMES
     ]

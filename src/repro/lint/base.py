@@ -1,0 +1,57 @@
+"""Checker base class and rule metadata.
+
+A checker inspects one :class:`~repro.lint.source.SourceFile` at a time
+and yields :class:`~repro.lint.findings.Finding` records.  Checkers are
+pure functions of the file's AST facts: no I/O, no cross-file state —
+which keeps the whole pass trivially deterministic and lets the test
+suite drive every checker with inline fixture snippets.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar, Iterator, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.source import SourceFile
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Identity and one-line rationale of one lint rule."""
+
+    rule_id: str
+    summary: str
+
+
+class Checker(abc.ABC):
+    """Base class for AST-walking invariant checkers.
+
+    Subclasses declare the rules they may emit (``rules``) and implement
+    :meth:`check`.  ``name`` is the checker's stable registry key.
+    """
+
+    name: ClassVar[str] = "checker"
+    rules: ClassVar[Tuple[Rule, ...]] = ()
+
+    @abc.abstractmethod
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Yield every violation this checker sees in ``source``."""
+
+    def finding(
+        self, rule_id: str, source: SourceFile, line: int, message: str,
+        col: int = 0,
+    ) -> Finding:
+        """Build a finding anchored in ``source`` (rule id sanity-checked)."""
+        if rule_id not in {rule.rule_id for rule in self.rules}:
+            raise ValueError(
+                f"checker {self.name!r} does not declare rule {rule_id!r}"
+            )
+        return Finding(
+            rule_id=rule_id,
+            path=source.display_path,
+            line=line,
+            message=message,
+            col=col,
+        )

@@ -1,0 +1,96 @@
+"""Grandfathered-finding baselines.
+
+A baseline lets the linter gate CI from day one even if some findings
+predate it: existing violations are recorded as ``path::rule -> count``
+and tolerated, while anything *new* still fails the build.  Keys omit
+line numbers so unrelated edits that shift code do not churn the file,
+and counts ratchet down naturally — once a grandfathered violation is
+fixed, ``--update-baseline`` shrinks the allowance so it cannot return.
+
+The file format is deliberately boring JSON, serialised with sorted keys
+and a trailing newline so diffs stay minimal and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Allowed finding counts keyed by ``path::rule``."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries: Dict[str, int] = {}
+        for finding in findings:
+            key = finding.baseline_key
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError(f"baseline {path} is not a JSON object")
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {version!r}, "
+                f"expected {BASELINE_VERSION}"
+            )
+        raw = data.get("entries", {})
+        if not isinstance(raw, dict):
+            raise ValueError(f"baseline {path} entries must be an object")
+        entries: Dict[str, int] = {}
+        for key, count in raw.items():
+            if not isinstance(key, str) or not isinstance(count, int):
+                raise ValueError(
+                    f"baseline {path} entry {key!r}: {count!r} is malformed"
+                )
+            if count > 0:
+                entries[key] = count
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": {
+                key: self.entries[key] for key in sorted(self.entries)
+            },
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def partition(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into ``(new, grandfathered)``.
+
+        Findings are consumed against the baseline allowance in the
+        canonical (line-sorted) order, so when a file has more findings
+        of a rule than the baseline allows, the *later* occurrences are
+        the ones reported as new.
+        """
+        remaining = dict(self.entries)
+        fresh: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                grandfathered.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, grandfathered

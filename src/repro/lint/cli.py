@@ -1,0 +1,118 @@
+"""The ``repro lint`` subcommand.
+
+Exit codes: ``0`` — clean (no findings outside the baseline); ``1`` —
+new findings; ``2`` — usage error (missing path or baseline).
+
+``--update-baseline`` rewrites the baseline to exactly the current
+findings and exits 0: the ratchet workflow is *fix what you can, then
+re-baseline the remainder deliberately* (the diff shows what was
+grandfathered, so it is reviewable like any other change).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO, Tuple
+
+from repro.lint.baseline import Baseline
+from repro.lint.checkers import rule_catalog
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import lint_paths
+
+#: Baseline picked up automatically when present in the working tree.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` arguments to an (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="output_format", help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help=f"grandfathered-findings file "
+             f"(default: {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list baselined findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id and summary, then exit",
+    )
+
+
+def _resolve_baseline(
+    args: argparse.Namespace, stderr: TextIO
+) -> Tuple[Optional[Baseline], Optional[Path], int]:
+    """Returns (baseline, baseline_path, exit_code!=0 on usage error)."""
+    if args.baseline is not None:
+        path = Path(args.baseline)
+        if not path.exists():
+            if args.update_baseline:
+                return None, path, 0
+            print(f"error: baseline not found: {path}", file=stderr)
+            return None, None, 2
+        return Baseline.load(path), path, 0
+    default = Path(DEFAULT_BASELINE)
+    if default.exists():
+        return Baseline.load(default), default, 0
+    return None, default if args.update_baseline else None, 0
+
+
+def run_lint(
+    args: argparse.Namespace,
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """Execute ``repro lint`` for parsed ``args``; returns the exit code."""
+    out: TextIO = stdout if stdout is not None else sys.stdout
+    err: TextIO = stderr if stderr is not None else sys.stderr
+
+    if args.list_rules:
+        catalog = rule_catalog()
+        width = max(len(rule_id) for rule_id in catalog)
+        for rule_id in sorted(catalog):
+            print(f"{rule_id.ljust(width)}  {catalog[rule_id]}", file=out)
+        return 0
+
+    baseline, baseline_path, code = _resolve_baseline(args, err)
+    if code != 0:
+        return code
+
+    paths: List[Path] = [Path(p) for p in args.paths]
+    try:
+        report = lint_paths(paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=err)
+        return 2
+
+    if args.update_baseline:
+        target = baseline_path if baseline_path is not None else Path(
+            DEFAULT_BASELINE
+        )
+        Baseline.from_findings(report.all_findings).save(target)
+        print(
+            f"wrote {target} ({len(report.all_findings)} grandfathered "
+            f"findings)",
+            file=out,
+        )
+        return 0
+
+    if args.output_format == "json":
+        out.write(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose), file=out)
+    return 0 if report.clean else 1

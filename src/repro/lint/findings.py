@@ -1,0 +1,59 @@
+"""Finding records emitted by :mod:`repro.lint` checkers.
+
+A :class:`Finding` pins one rule violation to a file and line.  Findings
+order deterministically (path, then line, then column, then rule id) so
+reports, baselines, and CI logs are stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    >>> f = Finding("rng-stdlib-random", "src/a.py", 3, "no random.random()")
+    >>> f.location
+    'src/a.py:3'
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    col: int = 0
+
+    @property
+    def location(self) -> str:
+        """``path:line`` — the clickable anchor used by the text report."""
+        return f"{self.path}:{self.line}"
+
+    @property
+    def baseline_key(self) -> str:
+        """The ``path::rule`` key findings are grandfathered under.
+
+        Deliberately excludes the line number: baselined findings should
+        survive unrelated edits that shift lines, and tighten (one fewer
+        allowed) as soon as an occurrence is actually removed.
+        """
+        return f"{self.path}::{self.rule_id}"
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule_id, self.message)
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Return ``findings`` in the canonical deterministic order."""
+    return sorted(findings, key=Finding.sort_key)

@@ -36,7 +36,9 @@ class RunManifest:
 
     label: str
     version: str = field(default_factory=_package_version)
-    created_unix: float = field(default_factory=time.time)
+    # Run metadata, not simulation input: the creation stamp never
+    # feeds back into simulated behaviour.
+    created_unix: float = field(default_factory=time.time)  # repro-lint: allow[sim-wallclock]
     seed: Optional[int] = None
     config: Dict[str, Any] = field(default_factory=dict)
     #: qualified phase name -> total seconds

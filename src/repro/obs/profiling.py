@@ -25,6 +25,20 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 
+def perf_seconds() -> float:
+    """Monotonic host wall-clock seconds, for profiling only.
+
+    This is the single sanctioned wall-clock read for simulation-facing
+    code: simulator/pipeline logic that needs to *measure itself* (e.g.
+    the engine's events/sec throughput, the coordinator's step timings)
+    calls this instead of ``time.perf_counter`` directly, keeping host
+    time out of anything that could influence simulated behaviour —
+    which is exactly what the ``sim-wallclock`` lint rule enforces
+    (``repro lint``; this module is its allowed profiling root).
+    """
+    return time.perf_counter()
+
+
 @dataclass
 class PhaseTiming:
     """Accumulated timing of one named phase."""

@@ -9,13 +9,13 @@ per-event control flow.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional, Sequence, Set, Union
 
 from repro.config import SimulationConfig
 from repro.core.groups import GroupingResult
 from repro.errors import SimulationError
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.profiling import perf_seconds
 from repro.simulator.cache import EdgeCache
 from repro.simulator.events import (
     CacheFailEvent,
@@ -188,7 +188,9 @@ class SimulationEngine:
         """
         sampler = self._observer.sampler if self._instrumented else None
         handlers = self._handlers
-        started = time.perf_counter()
+        # Wall clock is profiling-only here: it feeds throughput
+        # reporting, never event timestamps or simulated behaviour.
+        started = perf_seconds()
         events_processed = 0
         now = 0.0
         if self._event_loop == "sorted":
@@ -215,7 +217,7 @@ class SimulationEngine:
             # Any caller-supplied observer gets throughput numbers, even
             # one with no per-request instruments (manifest-only runs).
             self._observer.note_throughput(
-                events_processed, time.perf_counter() - started
+                events_processed, perf_seconds() - started
             )
         if not self._metrics.conservation_holds():
             raise SimulationError("request conservation violated")

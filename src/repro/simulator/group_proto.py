@@ -32,9 +32,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
-
-import numpy as np
+from typing import Dict, List, Optional, Set
 
 from repro.core.groups import GroupingResult
 from repro.errors import SimulationError

@@ -21,8 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from repro.errors import SimulationError
 from repro.simulator.latency import ServiceAccount, ServicePath
 from repro.types import NodeId

@@ -25,7 +25,7 @@ from __future__ import annotations
 import abc
 import heapq
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.errors import SimulationError
 from repro.types import DocumentId

@@ -9,7 +9,7 @@ of the catalog is dynamic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List
 
 import numpy as np
 

@@ -20,7 +20,6 @@ from repro.workload.documents import DocumentCatalog, build_catalog
 from repro.workload.requests import generate_request_log
 from repro.workload.trace import (
     RequestRecord,
-    UpdateRecord,
     read_request_log,
     read_update_log,
     write_request_log,

@@ -1,0 +1,79 @@
+"""Baseline grandfathering: round-trip, partition, and ratchet."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, Finding
+
+
+def finding(rule="sim-wallclock", path="src/a.py", line=1, message="m"):
+    return Finding(rule_id=rule, path=path, line=line, message=message)
+
+
+def test_round_trip(tmp_path):
+    findings = [
+        finding(line=3),
+        finding(line=9),
+        finding(rule="iter-order", path="src/b.py", line=2),
+    ]
+    baseline = Baseline.from_findings(findings)
+    target = tmp_path / "baseline.json"
+    baseline.save(target)
+
+    loaded = Baseline.load(target)
+    assert loaded.entries == {
+        "src/a.py::sim-wallclock": 2,
+        "src/b.py::iter-order": 1,
+    }
+    # Serialisation is deterministic: saving the loaded copy is a no-op.
+    again = tmp_path / "again.json"
+    loaded.save(again)
+    assert again.read_text() == target.read_text()
+    assert target.read_text().endswith("\n")
+
+
+def test_partition_consumes_allowance_in_line_order():
+    baseline = Baseline(entries={"src/a.py::sim-wallclock": 1})
+    first, second = finding(line=3), finding(line=9)
+    fresh, grandfathered = baseline.partition([first, second])
+    # The allowance covers the earliest occurrence; the later one is new.
+    assert grandfathered == [first]
+    assert fresh == [second]
+
+
+def test_partition_ignores_other_rules_and_paths():
+    baseline = Baseline(entries={"src/a.py::sim-wallclock": 5})
+    other = finding(rule="iter-order")
+    elsewhere = finding(path="src/b.py")
+    fresh, grandfathered = baseline.partition([other, elsewhere])
+    assert fresh == [other, elsewhere]
+    assert grandfathered == []
+
+
+def test_empty_baseline_passes_everything_through():
+    fresh, grandfathered = Baseline().partition([finding()])
+    assert len(fresh) == 1
+    assert grandfathered == []
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "entries": {}}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(bad)
+
+
+def test_load_rejects_malformed_entries(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 1, "entries": {"k": "lots"}}))
+    with pytest.raises(ValueError, match="malformed"):
+        Baseline.load(bad)
+
+
+def test_load_drops_zero_counts(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps({"version": 1, "entries": {"src/a.py::iter-order": 0}})
+    )
+    assert Baseline.load(path).entries == {}

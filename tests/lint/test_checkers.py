@@ -1,0 +1,433 @@
+"""Golden fixture tests: each checker against known-bad snippets.
+
+Every test feeds an inline snippet through one checker and asserts the
+exact (rule id, line) pairs, so a checker regression shows up as a
+precise diff rather than a count mismatch.
+"""
+
+import textwrap
+
+from repro.lint import (
+    ForkSafetyChecker,
+    IterationOrderChecker,
+    MutableDefaultChecker,
+    RngDisciplineChecker,
+    SimulatedTimeChecker,
+    SourceFile,
+    default_checkers,
+)
+
+
+def run_checker(checker, snippet, path="src/repro/module.py"):
+    source = SourceFile(path, textwrap.dedent(snippet))
+    assert source.parse_error is None
+    return [(f.rule_id, f.line) for f in checker.check(source)]
+
+
+class TestRngDiscipline:
+    def test_stdlib_random_calls(self):
+        hits = run_checker(
+            RngDisciplineChecker(),
+            """\
+            import random
+
+            def jitter():
+                random.seed(0)
+                return random.random() + random.uniform(0, 1)
+            """,
+        )
+        assert hits == [
+            ("rng-stdlib-random", 4),
+            ("rng-stdlib-random", 5),
+            ("rng-stdlib-random", 5),
+        ]
+
+    def test_from_import_random(self):
+        hits = run_checker(
+            RngDisciplineChecker(),
+            """\
+            from random import shuffle
+
+            def scramble(items):
+                shuffle(items)
+            """,
+        )
+        assert hits == [("rng-stdlib-random", 4)]
+
+    def test_numpy_global_state(self):
+        hits = run_checker(
+            RngDisciplineChecker(),
+            """\
+            import numpy as np
+
+            np.random.seed(42)
+            values = np.random.rand(10)
+            picks = np.random.choice([1, 2, 3])
+            """,
+        )
+        assert hits == [
+            ("rng-numpy-global", 3),
+            ("rng-numpy-global", 4),
+            ("rng-numpy-global", 5),
+        ]
+
+    def test_numpy_random_via_from_import(self):
+        hits = run_checker(
+            RngDisciplineChecker(),
+            """\
+            from numpy import random
+
+            random.seed(7)
+            """,
+        )
+        assert hits == [("rng-numpy-global", 3)]
+
+    def test_unseeded_default_rng(self):
+        hits = run_checker(
+            RngDisciplineChecker(),
+            """\
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """,
+        )
+        assert hits == [("rng-unseeded-default-rng", 3)]
+
+    def test_seeded_generator_usage_is_clean(self):
+        hits = run_checker(
+            RngDisciplineChecker(),
+            """\
+            import numpy as np
+
+            rng = np.random.default_rng(42)
+            seq = np.random.SeedSequence(7)
+            values = rng.random(10)
+            """,
+        )
+        assert hits == []
+
+    def test_unseeded_allowed_in_utils_rng(self):
+        hits = run_checker(
+            RngDisciplineChecker(),
+            """\
+            import numpy as np
+
+            def spawn():
+                return np.random.default_rng()
+            """,
+            path="src/repro/utils/rng.py",
+        )
+        assert hits == []
+
+    def test_local_generator_attribute_not_confused(self):
+        # ``self.random.choice`` is an object attribute, not the module.
+        hits = run_checker(
+            RngDisciplineChecker(),
+            """\
+            class Sampler:
+                def pick(self, items):
+                    return self.random.choice(items)
+            """,
+        )
+        assert hits == []
+
+
+class TestSimulatedTime:
+    def test_wallclock_in_simulator_dir(self):
+        hits = run_checker(
+            SimulatedTimeChecker(),
+            """\
+            import time
+
+            def now_ms():
+                return time.time() * 1000.0
+            """,
+            path="src/repro/simulator/engine.py",
+        )
+        assert hits == [("sim-wallclock", 4)]
+
+    def test_perf_counter_reference_without_call(self):
+        # Passing the function object is as dangerous as calling it.
+        hits = run_checker(
+            SimulatedTimeChecker(),
+            """\
+            import time
+
+            clock = time.perf_counter
+            """,
+            path="src/repro/experiments/base.py",
+        )
+        assert hits == [("sim-wallclock", 3)]
+
+    def test_datetime_now(self):
+        hits = run_checker(
+            SimulatedTimeChecker(),
+            """\
+            from datetime import datetime
+
+            stamp = datetime.now()
+            """,
+            path="src/repro/core/coordinator.py",
+        )
+        assert hits == [("sim-wallclock", 3)]
+
+    def test_out_of_scope_directory_is_clean(self):
+        hits = run_checker(
+            SimulatedTimeChecker(),
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            path="src/repro/analysis/export.py",
+        )
+        assert hits == []
+
+    def test_obs_profiling_is_allowed(self):
+        hits = run_checker(
+            SimulatedTimeChecker(),
+            """\
+            import time
+
+            def perf_seconds():
+                return time.perf_counter()
+            """,
+            path="src/repro/obs/profiling.py",
+        )
+        assert hits == []
+
+
+class TestForkSafety:
+    def test_lambda_to_map_tasks(self):
+        hits = run_checker(
+            ForkSafetyChecker(),
+            """\
+            from repro.runtime.scheduler import map_tasks
+
+            results = map_tasks(lambda x: x + 1, [1, 2, 3])
+            """,
+        )
+        assert hits == [("fork-unsafe-task", 3)]
+
+    def test_nested_function(self):
+        hits = run_checker(
+            ForkSafetyChecker(),
+            """\
+            from repro.runtime.scheduler import map_tasks
+
+            def run(points):
+                def unit(point):
+                    return point * 2
+                return map_tasks(unit, points)
+            """,
+        )
+        assert hits == [("fork-unsafe-task", 6)]
+
+    def test_lambda_bound_name(self):
+        hits = run_checker(
+            ForkSafetyChecker(),
+            """\
+            from repro.runtime.scheduler import map_tasks
+
+            unit = lambda point: point * 2
+            results = map_tasks(unit, [1, 2])
+            """,
+        )
+        assert hits == [("fork-unsafe-task", 4)]
+
+    def test_bound_method_to_scheduler_map(self):
+        hits = run_checker(
+            ForkSafetyChecker(),
+            """\
+            from repro.runtime import TaskScheduler
+
+            class Runner:
+                def unit(self, point):
+                    return point
+
+                def run(self, points):
+                    scheduler = TaskScheduler(4)
+                    return scheduler.map(self.unit, points)
+            """,
+        )
+        assert hits == [("fork-unsafe-task", 9)]
+
+    def test_partial_of_lambda(self):
+        hits = run_checker(
+            ForkSafetyChecker(),
+            """\
+            from functools import partial
+            from repro.runtime.scheduler import map_tasks
+
+            results = map_tasks(partial(lambda x, y: x + y, 1), [1, 2])
+            """,
+        )
+        assert hits == [("fork-unsafe-task", 4)]
+
+    def test_module_level_function_is_clean(self):
+        hits = run_checker(
+            ForkSafetyChecker(),
+            """\
+            from repro.runtime.scheduler import map_tasks
+
+            def unit(point):
+                return point * 2
+
+            def run(points):
+                return map_tasks(unit, points)
+            """,
+        )
+        assert hits == []
+
+    def test_unrelated_map_call_ignored(self):
+        hits = run_checker(
+            ForkSafetyChecker(),
+            """\
+            mapped = map(lambda x: x, [1, 2])
+            results = [].map
+            """,
+        )
+        assert hits == []
+
+
+class TestIterationOrder:
+    def test_unsorted_listdir(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            import os
+
+            for name in os.listdir("results"):
+                print(name)
+            """,
+        )
+        assert hits == [("iter-order", 3)]
+
+    def test_sorted_listdir_is_clean(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            import os
+            import glob
+
+            for name in sorted(os.listdir("results")):
+                print(name)
+            files = sorted(glob.glob("*.json"))
+            """,
+        )
+        assert hits == []
+
+    def test_unsorted_glob(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            import glob
+
+            files = glob.glob("*.json")
+            """,
+        )
+        assert hits == [("iter-order", 3)]
+
+    def test_pathlib_iterdir(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            from pathlib import Path
+
+            for entry in Path("results").iterdir():
+                print(entry)
+            """,
+        )
+        assert hits == [("iter-order", 3)]
+
+    def test_set_iteration_in_for_loop(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            nodes = [3, 1, 2]
+            for node in set(nodes):
+                print(node)
+            """,
+        )
+        assert hits == [("iter-order", 2)]
+
+    def test_set_literal_into_list(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            order = list({"b", "a"})
+            """,
+        )
+        assert hits == [("iter-order", 1)]
+
+    def test_set_membership_and_sorted_are_clean(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            down = set([1, 2, 3])
+            if 1 in down:
+                print("down")
+            for node in sorted({3, 1}):
+                print(node)
+            count = len({1, 2})
+            """,
+        )
+        assert hits == []
+
+
+class TestMutableDefaults:
+    def test_list_dict_set_literals(self):
+        hits = run_checker(
+            MutableDefaultChecker(),
+            """\
+            def a(x=[]):
+                return x
+
+            def b(y={}):
+                return y
+
+            def c(*, z={1}):
+                return z
+            """,
+        )
+        assert hits == [
+            ("mutable-default", 1),
+            ("mutable-default", 4),
+            ("mutable-default", 7),
+        ]
+
+    def test_constructor_calls(self):
+        hits = run_checker(
+            MutableDefaultChecker(),
+            """\
+            from collections import defaultdict
+
+            def f(bag=list(), table=defaultdict(int)):
+                return bag, table
+            """,
+        )
+        assert hits == [("mutable-default", 3), ("mutable-default", 3)]
+
+    def test_immutable_defaults_are_clean(self):
+        hits = run_checker(
+            MutableDefaultChecker(),
+            """\
+            def f(x=None, y=(), z="name", k=7):
+                return x, y, z, k
+            """,
+        )
+        assert hits == []
+
+
+def test_every_checker_declares_distinct_rules():
+    seen = {}
+    for checker in default_checkers():
+        assert checker.rules, checker.name
+        for rule in checker.rules:
+            assert rule.rule_id not in seen, (
+                f"rule {rule.rule_id} declared by both "
+                f"{seen[rule.rule_id]} and {checker.name}"
+            )
+            seen[rule.rule_id] = checker.name
+    assert len(seen) == 7

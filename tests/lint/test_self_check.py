@@ -1,0 +1,83 @@
+"""Self-check: the shipped tree satisfies its own invariants.
+
+This is the acceptance gate: ``repro lint`` over ``src/`` must report
+nothing beyond the committed ``lint_baseline.json``, and deliberately
+seeding one violation into a real module must fail with the right rule
+id and line.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.lint import Baseline, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_committed_baseline():
+    path = REPO_ROOT / "lint_baseline.json"
+    assert path.exists(), "lint_baseline.json must be committed at the root"
+    return Baseline.load(path)
+
+
+def test_src_tree_is_clean_against_committed_baseline():
+    report = lint_paths(
+        [REPO_ROOT / "src"],
+        baseline=load_committed_baseline(),
+        root=REPO_ROOT,
+    )
+    assert report.files_checked > 100
+    assert report.clean, "new lint findings:\n" + "\n".join(
+        f"{f.location}: {f.rule_id}: {f.message}" for f in report.findings
+    )
+
+
+def test_committed_baseline_is_empty():
+    # The tree was fixed rather than grandfathered; keep it that way.
+    assert load_committed_baseline().entries == {}
+
+
+def test_seeded_violation_is_caught_with_rule_and_line(tmp_path):
+    """Injecting one bare random.random() into kmeans.py fails the lint."""
+    victim = REPO_ROOT / "src" / "repro" / "clustering" / "kmeans.py"
+    copy_root = tmp_path / "src" / "repro" / "clustering"
+    copy_root.mkdir(parents=True)
+    target = copy_root / "kmeans.py"
+    shutil.copy(victim, target)
+
+    text = target.read_text()
+    target.write_text(
+        text
+        + "\n\ndef _jitter():\n    import random\n    return random.random()\n"
+    )
+    # The file ends with a newline, so "\n\n" opens two blank lines and
+    # the injected call lands five lines past the original last line.
+    injected_line = len(text.splitlines()) + 5
+
+    report = lint_paths(
+        [tmp_path / "src"],
+        baseline=load_committed_baseline(),
+        root=tmp_path,
+    )
+    assert not report.clean
+    [finding] = report.findings
+    assert finding.rule_id == "rng-stdlib-random"
+    assert finding.line == injected_line
+    assert finding.path == "src/repro/clustering/kmeans.py"
+
+
+def test_wallclock_injection_into_engine_is_caught(tmp_path):
+    victim = REPO_ROOT / "src" / "repro" / "simulator" / "engine.py"
+    copy_root = tmp_path / "src" / "repro" / "simulator"
+    copy_root.mkdir(parents=True)
+    target = copy_root / "engine.py"
+    text = victim.read_text()
+    target.write_text(
+        text + "\n\ndef _host_now():\n    import time\n    return time.time()\n"
+    )
+    injected_line = len(text.splitlines()) + 5
+
+    report = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert [
+        (f.rule_id, f.line) for f in report.findings
+    ] == [("sim-wallclock", injected_line)]

@@ -1,0 +1,94 @@
+"""Inline ``# repro-lint: allow[...]`` pragma behaviour."""
+
+import textwrap
+
+from repro.lint import SourceFile, default_checkers, lint_source
+
+
+def lint_snippet(snippet, path="src/repro/simulator/module.py"):
+    source = SourceFile(path, textwrap.dedent(snippet))
+    return lint_source(source, default_checkers())
+
+
+def test_same_line_pragma_suppresses():
+    findings, suppressed = lint_snippet(
+        """\
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: allow[sim-wallclock]
+        """
+    )
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_pragma_on_preceding_line_suppresses():
+    findings, suppressed = lint_snippet(
+        """\
+        import time
+
+        def stamp():
+            # repro-lint: allow[sim-wallclock]
+            return time.time()
+        """
+    )
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    findings, suppressed = lint_snippet(
+        """\
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: allow[iter-order]
+        """
+    )
+    assert [f.rule_id for f in findings] == ["sim-wallclock"]
+    assert suppressed == 0
+
+
+def test_comma_separated_rules_and_wildcard():
+    findings, suppressed = lint_snippet(
+        """\
+        import time
+        import random
+
+        def stamp():
+            return time.time() + random.random()  # repro-lint: allow[sim-wallclock, rng-stdlib-random]
+
+        def other():
+            return random.random()  # repro-lint: allow[*]
+        """
+    )
+    assert findings == []
+    assert suppressed == 3
+
+
+def test_pragma_inside_string_literal_is_ignored():
+    findings, suppressed = lint_snippet(
+        """\
+        import time
+
+        NOTE = "# repro-lint: allow[sim-wallclock]"
+        def stamp():
+            return time.time()
+        """
+    )
+    assert [f.rule_id for f in findings] == ["sim-wallclock"]
+    assert suppressed == 0
+
+
+def test_pragma_two_lines_above_does_not_suppress():
+    findings, _ = lint_snippet(
+        """\
+        import time
+        # repro-lint: allow[sim-wallclock]
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert [f.rule_id for f in findings] == ["sim-wallclock"]
