@@ -86,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     form.add_argument("--landmarks", type=int, default=25)
     form.add_argument("--seed", type=int, default=7)
     form.add_argument("--out", help="write the group table as JSON")
+    _add_formation_fault_args(form)
 
     sim = sub.add_parser(
         "simulate", help="simulate a grouped network under a workload"
@@ -135,6 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--manifest", metavar="PATH",
         help="write a run manifest (config, phase timings, time series)",
+    )
+    _add_formation_fault_args(sim)
+    sim.add_argument(
+        "--crash", action="append", default=[], metavar="NODE:FAIL[:RECOVER]",
+        help="crash cache NODE at FAIL ms (optionally recover at RECOVER "
+             "ms); repeatable",
+    )
+    sim.add_argument(
+        "--partition", action="append", default=[],
+        metavar="START:END:N1,N2,...",
+        help="cut nodes N1,N2,... off from the rest during [START, END) "
+             "ms; repeatable",
+    )
+    sim.add_argument(
+        "--partition-timeout-ms", type=float, default=500.0, metavar="MS",
+        help="wait charged when a query crosses a partition (default 500)",
     )
 
     rep = sub.add_parser(
@@ -191,6 +208,96 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_formation_fault_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-injection flags shared by form-groups and simulate."""
+    parser.add_argument(
+        "--probe-loss", type=float, default=0.0, metavar="P",
+        help="per-probe loss probability during group formation "
+             "(0 disables fault injection)",
+    )
+    parser.add_argument(
+        "--fail-landmarks", type=int, default=0, metavar="N",
+        help="crash N cache landmarks right after selection and exercise "
+             "the coordinator's failover path",
+    )
+
+
+def _formation_faults(args: argparse.Namespace):
+    """The FaultConfig requested by the CLI flags, or None when all-zero."""
+    if args.probe_loss == 0.0 and args.fail_landmarks == 0:
+        return None
+    from repro.faults import FaultConfig
+
+    config = FaultConfig(
+        probe_loss_rate=args.probe_loss,
+        crashed_landmarks=args.fail_landmarks,
+    )
+    config.validate()
+    return config
+
+
+def _parse_crash(spec: str):
+    """``NODE:FAIL_MS[:RECOVER_MS]`` -> (node, fail_ms, recover_ms|None)."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ReproError(
+            f"--crash expects NODE:FAIL_MS[:RECOVER_MS], got {spec!r}"
+        )
+    try:
+        node = int(parts[0])
+        fail_ms = float(parts[1])
+        recover_ms = float(parts[2]) if len(parts) == 3 else None
+    except ValueError:
+        raise ReproError(
+            f"--crash expects numeric NODE:FAIL_MS[:RECOVER_MS], got "
+            f"{spec!r}"
+        ) from None
+    return node, fail_ms, recover_ms
+
+
+def _parse_partition(spec: str):
+    """``START:END:N1,N2,...`` -> PartitionSpec (validated later)."""
+    from repro.faults import PartitionSpec
+
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ReproError(
+            f"--partition expects START_MS:END_MS:N1,N2,..., got {spec!r}"
+        )
+    try:
+        start_ms = float(parts[0])
+        end_ms = float(parts[1])
+        nodes = tuple(int(n) for n in parts[2].split(",") if n.strip())
+    except ValueError:
+        raise ReproError(
+            f"--partition expects numeric START_MS:END_MS:N1,N2,..., got "
+            f"{spec!r}"
+        ) from None
+    return PartitionSpec(start_ms=start_ms, end_ms=end_ms, nodes=nodes)
+
+
+def _fault_schedule(args: argparse.Namespace):
+    """The FaultSchedule requested by --crash/--partition, or None."""
+    if not args.crash and not args.partition:
+        return None
+    from repro.faults import FaultSchedule
+
+    crashes, recoveries = [], []
+    for spec in args.crash:
+        node, fail_ms, recover_ms = _parse_crash(spec)
+        crashes.append((fail_ms, node))
+        if recover_ms is not None:
+            recoveries.append((recover_ms, node))
+    schedule = FaultSchedule(
+        crashes=tuple(crashes),
+        recoveries=tuple(recoveries),
+        partitions=tuple(_parse_partition(s) for s in args.partition),
+        partition_timeout_ms=args.partition_timeout_ms,
+    )
+    schedule.validate()
+    return schedule
+
+
 def _cmd_network(args: argparse.Namespace) -> int:
     from repro.topology.stats import network_stats
 
@@ -213,12 +320,16 @@ def _cmd_form_groups(args: argparse.Namespace) -> int:
             args.scheme,
             landmark_config=LandmarkConfig(num_landmarks=landmarks),
         )
-    grouping = scheme.form_groups(network, args.k, seed=args.seed)
+    grouping = scheme.form_groups(
+        network, args.k, seed=args.seed, faults=_formation_faults(args)
+    )
     gicost = average_group_interaction_cost(network, grouping)
     print(
         f"{grouping.scheme}: {grouping.num_groups} groups, sizes "
         f"{sorted(grouping.sizes())}, gicost {gicost:.2f} ms"
     )
+    if grouping.degraded:
+        print(f"degraded formation: {grouping.fault_report}")
     if args.out:
         save_grouping(grouping, args.out)
         print(f"wrote {args.out}")
@@ -247,10 +358,18 @@ def _build_observer(args: argparse.Namespace):
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.obs import PhaseRegistry, activate, build_manifest, phase_timer
 
+    formation_faults = _formation_faults(args)
+    schedule = _fault_schedule(args)
     registry = PhaseRegistry()
     with activate(registry):
         network = load_network(args.network)
         if args.groups:
+            if formation_faults is not None:
+                raise ReproError(
+                    "--probe-loss/--fail-landmarks affect group formation; "
+                    "they cannot be combined with a pre-formed --groups "
+                    "table (re-run form-groups with these flags instead)"
+                )
             grouping = load_grouping(args.groups)
         else:
             k = args.k or max(1, network.num_caches // 10)
@@ -263,11 +382,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     landmark_config=LandmarkConfig(num_landmarks=landmarks),
                 )
             with phase_timer("form_groups"):
-                grouping = scheme.form_groups(network, k, seed=args.seed)
+                grouping = scheme.form_groups(
+                    network, k, seed=args.seed, faults=formation_faults
+                )
             print(
                 f"formed {grouping.num_groups} {grouping.scheme} groups "
                 f"(k={k})"
             )
+            if grouping.degraded:
+                print(f"degraded formation: {grouping.fault_report}")
         with phase_timer("workload"):
             workload = generate_workload(
                 network.cache_nodes,
@@ -282,7 +405,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
             print(f"workload: {summarize_trace(workload.requests)}")
         observer = _build_observer(args)
-        result = simulate(network, grouping, workload, observer=observer)
+        result = simulate(
+            network, grouping, workload, observer=observer, faults=schedule
+        )
     rates = result.hit_rates()
     table = Table(["metric", "value"])
     table.add_row(["requests", result.metrics.total_requests()])
@@ -340,6 +465,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             "sample_ms": args.sample_ms,
             "trace_capacity": args.trace_capacity,
         }
+        # Fault counters land in the manifest only when fault options
+        # were active, keeping fault-free manifests byte-identical.
+        if formation_faults is not None:
+            manifest.config["probe_loss"] = args.probe_loss
+            manifest.config["fail_landmarks"] = args.fail_landmarks
+            manifest.run_stats["degraded"] = 1.0 if grouping.degraded else 0.0
+            for key, value in (grouping.fault_report or {}).items():
+                manifest.run_stats[key] = float(value)
+        if schedule is not None:
+            metrics = result.metrics
+            manifest.run_stats["partition_timeouts"] = float(sum(
+                metrics.cache_stats(node).partition_timeouts
+                for node in metrics.cache_nodes()
+            ))
+            manifest.run_stats["scheduled_crashes"] = float(
+                len(schedule.crashes)
+            )
+            manifest.run_stats["scheduled_partitions"] = float(
+                len(schedule.partitions)
+            )
         save_manifest(manifest, args.manifest)
         print(f"wrote manifest to {args.manifest}")
     return 0

@@ -72,6 +72,14 @@ class GroupingResult:
     phase_timings: Optional[Dict[str, float]] = field(
         default=None, repr=False
     )
+    #: True when any degraded-mode path ran during formation (probe
+    #: losses imputed, landmarks replaced, ...)
+    degraded: bool = False
+    #: fault-injection provenance (probes lost, retries, timeouts,
+    #: landmarks crashed/replaced); None when faults were off
+    fault_report: Optional[Dict[str, float]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.groups:

@@ -121,11 +121,16 @@ class MembershipManager:
         node: NodeId,
         seed: SeedLike = None,
         samples_per_group: int = 1,
+        failed: Optional[Set[NodeId]] = None,
     ) -> int:
         """Place a new cache into the best existing group.
 
         Returns the chosen group id.  Raises if the cache is already
-        grouped.
+        grouped.  ``failed`` lists caches currently down: the
+        ``"peer-probe"`` strategy never samples them (probing a dead
+        member would hang the join and skew the RTT comparison).  The
+        ``"landmarks"`` strategy ignores it — it probes landmarks, not
+        members.
         """
         if node in self._group_of:
             raise SchemeError(f"cache {node} is already in a group")
@@ -133,7 +138,7 @@ class MembershipManager:
             group_id = self._join_by_landmarks(prober, node)
         else:
             group_id = self._join_by_peer_probe(
-                prober, node, seed, samples_per_group
+                prober, node, seed, samples_per_group, failed
             )
         self._members[group_id].add(node)
         self._group_of[node] = group_id
@@ -177,19 +182,31 @@ class MembershipManager:
         node: NodeId,
         seed: SeedLike,
         samples_per_group: int,
+        failed: Optional[Set[NodeId]] = None,
     ) -> int:
-        """Provenance-free: probe sampled members of each group."""
+        """Provenance-free: probe sampled *live* members of each group.
+
+        Currently-failed caches are excluded from the sampling pool; a
+        group whose members are all down is skipped entirely.  With no
+        failed caches the pools — and therefore the RNG draws and the
+        chosen group — are identical to the pre-fault behaviour.
+        """
         if samples_per_group < 1:
             raise SchemeError(
                 f"samples_per_group must be >= 1, got {samples_per_group}"
             )
+        down = failed if failed is not None else frozenset()
         rng = spawn_rng(seed)
         best_group: Optional[int] = None
         best_rtt = np.inf
+        skipped_dead = 0
         for group_id, members in sorted(self._members.items()):
             if not members:
                 continue
-            pool = sorted(members)
+            pool = sorted(m for m in members if m not in down)
+            if not pool:
+                skipped_dead += 1
+                continue
             count = min(samples_per_group, len(pool))
             picks = rng.choice(len(pool), size=count, replace=False)
             rtts = [prober.measure(node, pool[int(i)]) for i in picks]
@@ -198,5 +215,10 @@ class MembershipManager:
                 best_rtt = mean_rtt
                 best_group = group_id
         if best_group is None:
+            if skipped_dead:
+                raise SchemeError(
+                    f"cannot join: all {skipped_dead} group(s) have only "
+                    f"failed members"
+                )
             raise SchemeError("no live groups left to join")
         return best_group

@@ -33,6 +33,7 @@ from repro.coords.gnp import embed_gnp
 from repro.core.coordinator import GFCoordinator
 from repro.core.groups import GroupingResult
 from repro.errors import SchemeError
+from repro.faults.config import FaultConfig
 from repro.landmarks.base import LandmarkSelector
 from repro.landmarks.greedy import GreedyMaxMinSelector
 from repro.landmarks.mindist import MinDistSelector
@@ -69,12 +70,18 @@ class GroupFormationScheme(abc.ABC):
         network: EdgeCacheNetwork,
         k: int,
         seed: SeedLike = None,
+        faults: Optional[FaultConfig] = None,
     ) -> GroupingResult:
-        """Partition the network's caches into ``k`` cooperative groups."""
+        """Partition the network's caches into ``k`` cooperative groups.
+
+        ``faults`` (optional) turns on measurement-side fault injection
+        for this run: probe loss/retry, blackholes, landmark crashes.
+        """
         if k < 1:
             raise SchemeError(f"k must be >= 1, got {k}")
         coordinator = GFCoordinator(
-            network, probe_config=self._probe_config, seed=seed
+            network, probe_config=self._probe_config, seed=seed,
+            faults=faults,
         )
         return self._run(coordinator, k)
 

@@ -1,0 +1,192 @@
+"""Figure R (extension): resilience of group formation under faults.
+
+Not a figure from the paper — a robustness extension.  Two sweeps:
+
+* **Probe-loss sweep** (the plotted series): SL, SDSL, and random
+  landmarks form groups while every probe is lost with probability p;
+  grouping quality (average group interaction cost), simulated hit
+  rate, and P95 request latency are reported per p.  Quality and hit
+  rate should degrade roughly monotonically as p grows — the pipeline
+  survives, it just sees a noisier network.
+* **Landmark-failure sweep** (reported in ``notes``): at zero probe
+  loss, f of the selected landmarks crash immediately after selection
+  and the coordinator's failover path replaces them.  SL with failover
+  should stay ahead of the random-landmark baseline, showing the
+  greedy replacement preserves the selection advantage.
+
+Registered as ``figR`` with the usual ``--jobs``/cache support.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.gicost import average_group_interaction_cost
+from repro.analysis.report import ExperimentResult, SeriesResult
+from repro.core.schemes import RandomLandmarksScheme, SDSLScheme, SLScheme
+from repro.experiments.base import (
+    build_testbed,
+    landmark_config,
+    run_simulation,
+)
+from repro.faults.config import FaultConfig
+from repro.runtime.scheduler import map_tasks
+from repro.utils.rng import RngFactory
+
+DEFAULT_LOSS_RATES = (0.0, 0.1, 0.25, 0.4)
+PAPER_LOSS_RATES = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4)
+DEFAULT_FAIL_COUNTS = (0, 1, 2)
+#: K is set to 10% of the cache count, matching the other figures.
+GROUP_FRACTION = 0.10
+
+_SCHEMES = {
+    "sl": SLScheme,
+    "sdsl": SDSLScheme,
+    "random": RandomLandmarksScheme,
+}
+_METRICS = ("gicost_ms", "hit_rate", "p95_ms")
+
+
+def _figr_unit(payload: dict) -> Dict[str, float]:
+    """One (fault setting, repetition, scheme) work unit.
+
+    Forms groups under the payload's fault config, then simulates the
+    grouping over the repetition's testbed.  Passes ``faults=None``
+    (not a zero-rate config) when all fault knobs are off, so fault-free
+    units stay bit-identical to the pre-fault-injection pipeline.
+    """
+    testbed = build_testbed(
+        payload["n"], payload["fork_seed"],
+        requests_per_cache=payload["requests_per_cache"],
+        num_documents=payload["num_documents"],
+    )
+    scheme = _SCHEMES[payload["scheme"]](
+        landmark_config=landmark_config(
+            payload["num_landmarks"], num_caches=payload["n"]
+        )
+    )
+    faults: Optional[FaultConfig] = None
+    if payload["loss"] > 0.0 or payload["fail_landmarks"] > 0:
+        faults = FaultConfig(
+            probe_loss_rate=payload["loss"],
+            crashed_landmarks=payload["fail_landmarks"],
+        )
+    grouping = scheme.form_groups(
+        testbed.network,
+        payload["k"],
+        seed=RngFactory(payload["fork_seed"]).stream(payload["scheme"]),
+        faults=faults,
+    )
+    gicost = average_group_interaction_cost(testbed.network, grouping)
+    result = run_simulation(testbed, grouping)
+    rates = result.hit_rates()
+    return {
+        "gicost_ms": gicost,
+        "hit_rate": rates["local"] + rates["group"],
+        "p95_ms": result.metrics.latency_p95_ms(),
+        "degraded": 1.0 if grouping.degraded else 0.0,
+    }
+
+
+def run_figr(
+    loss_rates: Optional[Sequence[float]] = None,
+    fail_landmark_counts: Optional[Sequence[int]] = None,
+    num_caches: int = 60,
+    num_landmarks: int = 8,
+    seed: int = 29,
+    repetitions: int = 2,
+    requests_per_cache: int = 120,
+    num_documents: int = 300,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """The fault sweep: quality/hit-rate/latency vs probe loss.
+
+    Each point averages ``repetitions`` independent (topology, scheme)
+    runs; the landmark-failure sub-sweep lands in ``notes``.
+    """
+    if paper_scale:
+        loss_rates = loss_rates or PAPER_LOSS_RATES
+        num_caches = max(num_caches, 100)
+    rates = tuple(loss_rates or DEFAULT_LOSS_RATES)
+    fail_counts = tuple(
+        fail_landmark_counts
+        if fail_landmark_counts is not None
+        else DEFAULT_FAIL_COUNTS
+    )
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    for rate in rates:
+        FaultConfig(probe_loss_rate=rate).validate()
+    k = max(2, round(GROUP_FRACTION * num_caches))
+    factory = RngFactory(seed)
+
+    def payload(loss, fails, scheme, fork_seed):
+        return {
+            "n": num_caches,
+            "k": k,
+            "num_landmarks": num_landmarks,
+            "requests_per_cache": requests_per_cache,
+            "num_documents": num_documents,
+            "scheme": scheme,
+            "loss": float(loss),
+            "fail_landmarks": int(fails),
+            "fork_seed": fork_seed,
+        }
+
+    payloads = []
+    for rate in rates:
+        for rep in range(repetitions):
+            fork_seed = factory.fork(f"loss{rate}-rep{rep}").root_seed
+            for name in _SCHEMES:
+                payloads.append(payload(rate, 0, name, fork_seed))
+    fail_schemes = ("sl", "random")
+    for fails in fail_counts:
+        for rep in range(repetitions):
+            fork_seed = factory.fork(f"fail{fails}-rep{rep}").root_seed
+            for name in fail_schemes:
+                payloads.append(payload(0.0, fails, name, fork_seed))
+    values = iter(map_tasks(_figr_unit, payloads))
+
+    series = {
+        f"{name}_{metric}": []
+        for name in _SCHEMES
+        for metric in _METRICS
+    }
+    degraded_runs = 0
+    for _rate in rates:
+        totals = {key: 0.0 for key in series}
+        for _rep in range(repetitions):
+            for name in _SCHEMES:
+                unit = next(values)
+                degraded_runs += int(unit["degraded"])
+                for metric in _METRICS:
+                    totals[f"{name}_{metric}"] += unit[metric]
+        for key in series:
+            series[key].append(totals[key] / repetitions)
+
+    notes: Dict[str, float] = {}
+    for fails in fail_counts:
+        totals = {name: 0.0 for name in fail_schemes}
+        for _rep in range(repetitions):
+            for name in fail_schemes:
+                unit = next(values)
+                degraded_runs += int(unit["degraded"])
+                totals[name] += unit["gicost_ms"]
+        for name in fail_schemes:
+            notes[f"{name}_gicost_fail{fails}"] = totals[name] / repetitions
+        notes[f"sl_margin_fail{fails}"] = (
+            notes[f"random_gicost_fail{fails}"]
+            - notes[f"sl_gicost_fail{fails}"]
+        )
+    notes["degraded_runs"] = float(degraded_runs)
+
+    return ExperimentResult(
+        experiment_id="figR",
+        x_label="probe_loss_rate",
+        x_values=rates,
+        series=tuple(
+            SeriesResult(name, tuple(points))
+            for name, points in series.items()
+        ),
+        notes=notes,
+    )

@@ -17,6 +17,7 @@ def _load() -> Dict[str, Callable[..., ExperimentResult]]:
     from repro.experiments.fig7_feature_vs_euclidean import run_fig7
     from repro.experiments.fig8_sdsl_vs_sl_size import run_fig8
     from repro.experiments.fig9_sdsl_vs_sl_groups import run_fig9
+    from repro.experiments.figr_fault_sweep import run_figr
 
     return {
         "fig3": run_fig3,
@@ -26,6 +27,7 @@ def _load() -> Dict[str, Callable[..., ExperimentResult]]:
         "fig7": run_fig7,
         "fig8": run_fig8,
         "fig9": run_fig9,
+        "figR": run_figr,
     }
 
 

@@ -34,7 +34,7 @@ PathLike = Union[str, Path]
 
 #: Figures whose runners accept a ``repetitions`` argument.
 _SUPPORTS_REPETITIONS = frozenset(
-    {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+    {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figR"}
 )
 
 

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +28,15 @@ class LandmarkSet:
 
     nodes: Tuple[NodeId, ...]
     min_pairwise_rtt: float = float("nan")
+    #: selection context for degraded-mode landmark replacement: the
+    #: PLSet the greedy step ran over and its measured distance matrix.
+    #: ``None`` for selectors that keep no such context (random, etc.).
+    plset: Optional[Tuple[NodeId, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+    plset_measured: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.nodes) < 2:

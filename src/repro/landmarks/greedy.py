@@ -65,6 +65,12 @@ class GreedyMaxMinSelector(LandmarkSelector):
         probe_nodes: List[NodeId] = [ORIGIN_NODE_ID, *plset]
         with phase_timer("landmarks/probe"):
             measured = prober.measure_matrix(probe_nodes)
+        if np.isnan(measured).any():
+            # Fault injection: an unreachable pair measures NaN.  Treat
+            # it as distance 0 so a lossy candidate looks *near* the
+            # current landmarks and is never greedily picked; the
+            # zero-fault path never produces NaN and is untouched.
+            measured = np.nan_to_num(measured, nan=0.0)
 
         with phase_timer("landmarks/greedy"):
             chosen_rows = [0]  # origin is always a landmark
@@ -79,7 +85,12 @@ class GreedyMaxMinSelector(LandmarkSelector):
 
         nodes = tuple(probe_nodes[row] for row in chosen_rows)
         objective = min_pairwise(measured[np.ix_(chosen_rows, chosen_rows)])
-        return LandmarkSet(nodes=nodes, min_pairwise_rtt=objective)
+        return LandmarkSet(
+            nodes=nodes,
+            min_pairwise_rtt=objective,
+            plset=tuple(plset),
+            plset_measured=measured,
+        )
 
 
 def sample_potential_landmarks(

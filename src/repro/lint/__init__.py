@@ -7,7 +7,7 @@ streams, simulator code reads simulated time only, scheduler work units
 are module-level picklables, and nothing iterates filesystem listings
 or sets in an order-sensitive way.  This package turns those
 conventions into machine-checked invariants: a small checker framework
-(:mod:`repro.lint.base`), five built-in checkers
+(:mod:`repro.lint.base`), six built-in checkers
 (:mod:`repro.lint.checkers`), inline ``# repro-lint: allow[rule-id]``
 suppressions, a grandfathering baseline (:mod:`repro.lint.baseline`),
 and text/JSON reporters — all wired up as the ``repro lint`` CLI
@@ -30,6 +30,7 @@ from repro.lint.checkers import (
     MutableDefaultChecker,
     RngDisciplineChecker,
     SimulatedTimeChecker,
+    SwallowedExceptionChecker,
     default_checkers,
     rule_catalog,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "Rule",
     "SimulatedTimeChecker",
     "SourceFile",
+    "SwallowedExceptionChecker",
     "default_checkers",
     "iter_python_files",
     "lint_paths",

@@ -14,6 +14,9 @@ and ``docs/performance.md`` for the guarantee itself):
 * :class:`IterationOrderChecker` — no unsorted filesystem listings or
   set iteration where order can leak into outputs or RNG consumption.
 * :class:`MutableDefaultChecker` — no mutable default arguments.
+* :class:`SwallowedExceptionChecker` — no silently-swallowed broad
+  exception handlers (``except: pass`` and friends): fault-injection
+  bugs hide exactly there.
 
 Checkers are syntactic: they prove the *absence of known-bad shapes*,
 not the correctness of arbitrary code, and every rule is suppressible
@@ -37,6 +40,7 @@ SIM_WALLCLOCK = "sim-wallclock"
 FORK_UNSAFE = "fork-unsafe-task"
 ITER_ORDER = "iter-order"
 MUTABLE_DEFAULT = "mutable-default"
+SWALLOWED_EXCEPTION = "swallowed-exception"
 
 
 class RngDisciplineChecker(Checker):
@@ -448,6 +452,86 @@ class MutableDefaultChecker(Checker):
         return False
 
 
+class SwallowedExceptionChecker(Checker):
+    """No broad exception handlers that silently discard the error.
+
+    A bare ``except:`` or ``except Exception/BaseException:`` whose body
+    neither re-raises nor reports (logging / ``warnings.warn`` /
+    ``traceback.print_exc`` / ``print``) turns every unexpected failure
+    into silence — in a fault-injection codebase that means an injected
+    fault can be eaten instead of surfacing as a degraded-mode signal.
+    Narrow handlers (``except KeyError:``) are fine: catching a named
+    exception is a statement of intent.
+    """
+
+    name = "exception-discipline"
+    rules = (
+        Rule(SWALLOWED_EXCEPTION,
+             "broad exception handler with no re-raise or report"),
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+    _LOG_METHODS = frozenset({
+        "debug", "info", "warning", "error", "exception", "critical", "log",
+    })
+    _REPORT_CALLS = frozenset({
+        "warnings.warn", "traceback.print_exc", "traceback.format_exc",
+    })
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = self._broad_label(source, node.type)
+            if label is None:
+                continue
+            if self._handles(source, node.body):
+                continue
+            yield self.finding(
+                SWALLOWED_EXCEPTION, source, node.lineno,
+                f"{label} swallows every error silently; re-raise, "
+                f"narrow the exception type, or report it "
+                f"(logging/warnings)",
+                col=node.col_offset,
+            )
+
+    def _broad_label(
+        self, source: SourceFile, node: Optional[ast.expr]
+    ) -> Optional[str]:
+        """A display label when the handler is broad, else None."""
+        if node is None:
+            return "bare 'except:'"
+        names: List[ast.expr] = (
+            list(node.elts) if isinstance(node, ast.Tuple) else [node]
+        )
+        for name in names:
+            resolved = source.resolve(name)
+            if resolved in self._BROAD:
+                return f"'except {resolved}:'"
+            if isinstance(name, ast.Name) and name.id in self._BROAD:
+                return f"'except {name.id}:'"
+        return None
+
+    def _handles(self, source: SourceFile, body: List[ast.stmt]) -> bool:
+        """True when the handler re-raises or reports the error."""
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Raise):
+                    return True
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                resolved = source.resolve(func)
+                if resolved in self._REPORT_CALLS:
+                    return True
+                if isinstance(func, ast.Attribute):
+                    if func.attr in self._LOG_METHODS:
+                        return True
+                elif isinstance(func, ast.Name) and func.id == "print":
+                    return True
+        return False
+
+
 def default_checkers() -> Tuple[Checker, ...]:
     """Fresh instances of every built-in checker, in stable order."""
     return (
@@ -456,6 +540,7 @@ def default_checkers() -> Tuple[Checker, ...]:
         ForkSafetyChecker(),
         IterationOrderChecker(),
         MutableDefaultChecker(),
+        SwallowedExceptionChecker(),
     )
 
 

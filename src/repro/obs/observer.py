@@ -19,6 +19,8 @@ from repro.obs.trace import (
     KIND_CACHE_FAIL,
     KIND_CACHE_RECOVER,
     KIND_ORIGIN_UPDATE,
+    KIND_PARTITION_END,
+    KIND_PARTITION_START,
     KIND_REQUEST,
     TraceCollector,
     TraceRecord,
@@ -91,6 +93,20 @@ class Observer:
         if self.trace is not None:
             self.trace.record(TraceRecord(
                 kind=KIND_CACHE_RECOVER, timestamp_ms=now_ms, cache=cache
+            ))
+
+    def on_partition_start(self, now_ms: float, nodes: tuple) -> None:
+        if self.trace is not None:
+            self.trace.record(TraceRecord(
+                kind=KIND_PARTITION_START, timestamp_ms=now_ms,
+                nodes=tuple(nodes),
+            ))
+
+    def on_partition_end(self, now_ms: float, nodes: tuple) -> None:
+        if self.trace is not None:
+            self.trace.record(TraceRecord(
+                kind=KIND_PARTITION_END, timestamp_ms=now_ms,
+                nodes=tuple(nodes),
             ))
 
     def on_origin_update(self, now_ms: float, doc_id: int) -> None:

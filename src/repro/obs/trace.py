@@ -32,9 +32,18 @@ KIND_REQUEST = "request"
 KIND_CACHE_FAIL = "cache_fail"
 KIND_CACHE_RECOVER = "cache_recover"
 KIND_ORIGIN_UPDATE = "origin_update"
+KIND_PARTITION_START = "partition_start"
+KIND_PARTITION_END = "partition_end"
 
 _KNOWN_KINDS = frozenset(
-    {KIND_REQUEST, KIND_CACHE_FAIL, KIND_CACHE_RECOVER, KIND_ORIGIN_UPDATE}
+    {
+        KIND_REQUEST,
+        KIND_CACHE_FAIL,
+        KIND_CACHE_RECOVER,
+        KIND_ORIGIN_UPDATE,
+        KIND_PARTITION_START,
+        KIND_PARTITION_END,
+    }
 )
 
 
@@ -62,10 +71,16 @@ class TraceRecord:
     counted: Optional[bool] = None
     #: served from a copy older than the origin's version
     stale: Optional[bool] = None
+    #: node set of a partition_start/partition_end record
+    nodes: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KNOWN_KINDS:
             raise SimulationError(f"unknown trace record kind {self.kind!r}")
+        if self.nodes is not None and not isinstance(self.nodes, tuple):
+            # JSON round-trips the node set as a list; normalise so
+            # replayed records compare equal to originals.
+            object.__setattr__(self, "nodes", tuple(self.nodes))
 
     def to_dict(self) -> Dict:
         """JSON-ready dict with None fields dropped."""

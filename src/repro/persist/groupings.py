@@ -42,6 +42,10 @@ def save_grouping(grouping: GroupingResult, path: PathLike) -> None:
                 grouping.landmarks.min_pairwise_rtt
             ),
         }
+    if grouping.degraded:
+        # Only emitted when True, so fault-free group tables stay
+        # byte-identical to those written before fault injection existed.
+        payload["degraded"] = True
     with open(path, "w", encoding="utf-8") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -78,7 +82,12 @@ def load_grouping(path: PathLike) -> GroupingResult:
             nodes=tuple(int(n) for n in entry["nodes"]),
             min_pairwise_rtt=_none_to_nan(entry.get("min_pairwise_rtt")),
         )
-    return GroupingResult(scheme=scheme, groups=groups, landmarks=landmarks)
+    return GroupingResult(
+        scheme=scheme,
+        groups=groups,
+        landmarks=landmarks,
+        degraded=bool(payload.get("degraded", False)),
+    )
 
 
 def _nan_to_none(value: float):

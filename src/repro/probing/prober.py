@@ -9,7 +9,7 @@ issued, so tests and benchmarks can assert that the SL pipeline stays at
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from repro.topology.network import EdgeCacheNetwork
 from repro.types import NodeId
 from repro.utils.rng import SeedLike, spawn_rng
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.model import FaultModel
+
 
 @dataclass
 class ProbeStats:
@@ -29,6 +32,14 @@ class ProbeStats:
     probes_sent: int = 0
     #: distinct (source, target) pairs measured at least once
     pairs_measured: int = 0
+    #: probe messages that were lost (fault injection only)
+    probes_lost: int = 0
+    #: retry probes sent after a loss (already included in probes_sent)
+    retries: int = 0
+    #: probe slots that exhausted every retry without an answer
+    timeouts: int = 0
+    #: simulated wait charged to timeouts and retry backoff (ms)
+    timeout_wait_ms: float = 0.0
     _seen_pairs: set = field(default_factory=set, repr=False)
 
     def record(self, source: NodeId, target: NodeId, probe_count: int) -> None:
@@ -41,6 +52,10 @@ class ProbeStats:
     def reset(self) -> None:
         self.probes_sent = 0
         self.pairs_measured = 0
+        self.probes_lost = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.timeout_wait_ms = 0.0
         self._seen_pairs.clear()
 
 
@@ -58,6 +73,7 @@ class Prober:
         config: Optional[ProbeConfig] = None,
         noise: Optional[NoiseModel] = None,
         seed: SeedLike = None,
+        faults: Optional["FaultModel"] = None,
     ) -> None:
         self._network = network
         self._config = config or ProbeConfig()
@@ -68,7 +84,17 @@ class Prober:
             )
         self._noise = noise
         self._rng = spawn_rng(seed)
+        self._faults = faults
         self.stats = ProbeStats()
+
+    @property
+    def faults(self) -> Optional["FaultModel"]:
+        """The attached fault model, if any."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, model: Optional["FaultModel"]) -> None:
+        self._faults = model
 
     @property
     def network(self) -> EdgeCacheNetwork:
@@ -84,7 +110,12 @@ class Prober:
         return self._rng
 
     def measure(self, source: NodeId, target: NodeId) -> float:
-        """Measured RTT between two nodes: mean of ``probe_count`` probes."""
+        """Measured RTT between two nodes: mean of ``probe_count`` probes.
+
+        With a fault model attached the per-probe loss/retry overlay
+        applies (see :meth:`_faulted_mean`); every probe to the pair
+        lost means the result is NaN.
+        """
         self._check_node(source)
         self._check_node(target)
         if source == target:
@@ -94,7 +125,9 @@ class Prober:
             np.full(self._config.probe_count, true_rtt), self._rng
         )
         self.stats.record(source, target, self._config.probe_count)
-        return float(observations.mean())
+        if self._faults is None:
+            return float(observations.mean())
+        return self._faulted_mean(source, target, true_rtt, observations)
 
     def measure_many(
         self, source: NodeId, targets: Sequence[NodeId]
@@ -115,11 +148,20 @@ class Prober:
             return np.empty(0, dtype=float)
         idx = np.asarray(targets, dtype=int)
         true_rtts = self._network.distances.row(source)[idx]
-        out = self._observe(true_rtts, idx != source)
+        probed = idx != source
+        raw = self._observe_raw(true_rtts, probed)
+        out = raw.mean(axis=1)
+        out[~probed] = 0.0
         probe_count = self._config.probe_count
         for target in targets:
             if target != source:
                 self.stats.record(source, target, probe_count)
+        if self._faults is not None:
+            for pos, target in enumerate(targets):
+                if target != source:
+                    out[pos] = self._faulted_mean(
+                        source, target, float(true_rtts[pos]), raw[pos]
+                    )
         return out
 
     def measure_matrix(self, nodes: Sequence[NodeId]) -> np.ndarray:
@@ -143,34 +185,133 @@ class Prober:
         sources, dests = node_arr[iu], node_arr[ju]
         rtt = self._network.distances.as_array()
         true_rtts = rtt[sources, dests]
-        values = self._observe(true_rtts, sources != dests)
+        probed = sources != dests
+        raw = self._observe_raw(true_rtts, probed)
+        values = raw.mean(axis=1)
+        values[~probed] = 0.0
         probe_count = self._config.probe_count
         for source, dest in zip(sources, dests):
             if source != dest:
                 self.stats.record(int(source), int(dest), probe_count)
+        if self._faults is not None:
+            for pos in np.flatnonzero(probed):
+                values[pos] = self._faulted_mean(
+                    int(sources[pos]),
+                    int(dests[pos]),
+                    float(true_rtts[pos]),
+                    raw[pos],
+                )
         matrix[iu, ju] = values
         matrix[ju, iu] = values
         return matrix
 
-    def _observe(
+    def _observe_raw(
         self, true_rtts: np.ndarray, probed: np.ndarray
     ) -> np.ndarray:
-        """Mean of ``probe_count`` noisy observations per probed entry.
+        """``(len, probe_count)`` noisy observations; unprobed rows zero.
 
-        Entries where ``probed`` is False (self-probes) are fixed at 0.0
-        and consume no randomness, exactly as :meth:`measure` returns
-        0.0 without drawing noise for ``source == target``.
+        Entries where ``probed`` is False (self-probes) consume no
+        randomness, exactly as :meth:`measure` returns 0.0 without
+        drawing noise for ``source == target``.  The single
+        ``(count, probe_count)`` draw fills the main stream in the same
+        order per-target :meth:`measure` calls would, so the zero-fault
+        pipeline stays bit-identical.
         """
-        out = np.zeros(len(true_rtts), dtype=float)
+        out = np.zeros((len(true_rtts), self._config.probe_count), dtype=float)
         count = int(probed.sum())
         if count:
             probe_count = self._config.probe_count
             stacked = np.broadcast_to(
                 true_rtts[probed][:, None], (count, probe_count)
             )
-            observations = self._noise.perturb(stacked, self._rng)
-            out[probed] = observations.mean(axis=1)
+            out[probed] = self._noise.perturb(stacked, self._rng)
         return out
+
+    def _faulted_mean(
+        self,
+        source: NodeId,
+        target: NodeId,
+        true_rtt: float,
+        base_observations: np.ndarray,
+    ) -> float:
+        """Apply the fault overlay to one pair's base observations.
+
+        The base noise block was already drawn from the prober's main
+        stream, so this method consumes *only* the pair's content-keyed
+        loss stream: a pair with zero loss and no blackhole/slow link
+        returns the plain mean bit-identically, keeping fault-free runs
+        indistinguishable from runs without a fault model.
+
+        Each of the ``probe_count`` slots is one probe: a lost probe
+        costs ``probe_timeout_ms`` of simulated wait and is retried up
+        to ``max_retries`` times with capped exponential backoff; every
+        retry is charged to the probe budget (``probes_sent``).  A slot
+        that exhausts its retries counts as a timeout; if all slots time
+        out the measurement is NaN (landmark unreachable).
+
+        Slots are timed end-to-end: a slot that succeeded only after
+        retries reports its elapsed time *including* the timeouts it
+        waited out, the way an application-level prober that cannot
+        tell loss from delay would.  Probe loss therefore inflates
+        measured RTTs (and so distorts landmark selection and feature
+        vectors) rather than merely thinning the sample — which is
+        exactly the degradation the resilience sweep measures.
+        """
+        model = self._faults
+        assert model is not None
+        cfg = model.config
+        factor = model.link_factor(source, target)
+        stats = self.stats
+        probe_count = len(base_observations)
+        if model.pair_blocked(source, target):
+            # Deterministically dead: no draws, every attempt lost.
+            retries = cfg.max_retries
+            stats.probes_sent += probe_count * retries
+            stats.retries += probe_count * retries
+            stats.probes_lost += probe_count * (1 + retries)
+            stats.timeouts += probe_count
+            stats.timeout_wait_ms += (
+                probe_count * (1 + retries) * cfg.probe_timeout_ms
+            )
+            stats.timeout_wait_ms += probe_count * sum(
+                model.backoff_ms(attempt) for attempt in range(1, retries + 1)
+            )
+            return float("nan")
+        loss = cfg.probe_loss_rate
+        if loss <= 0.0:
+            return float(base_observations.mean()) * factor
+        pair_rng = model.loss_stream(source, target)
+        values = []
+        for slot in range(probe_count):
+            observation: Optional[float] = None
+            if pair_rng.random() >= loss:
+                observation = float(base_observations[slot])
+            else:
+                stats.probes_lost += 1
+                stats.timeout_wait_ms += cfg.probe_timeout_ms
+                for attempt in range(1, cfg.max_retries + 1):
+                    stats.retries += 1
+                    stats.probes_sent += 1
+                    stats.timeout_wait_ms += model.backoff_ms(attempt)
+                    if pair_rng.random() >= loss:
+                        # End-to-end slot timing: `attempt` earlier
+                        # sends timed out before this one answered.
+                        observation = float(
+                            attempt * cfg.probe_timeout_ms
+                            + self._noise.perturb(
+                                np.full(1, true_rtt), pair_rng
+                            )[0]
+                        )
+                        break
+                    stats.probes_lost += 1
+                    stats.timeout_wait_ms += cfg.probe_timeout_ms
+                else:
+                    stats.timeouts += 1
+            if observation is not None:
+                values.append(observation)
+        if not values:
+            return float("nan")
+        return float(np.mean(values)) * factor
 
     def _check_node(self, node: NodeId) -> None:
         if not 0 <= node < self._network.distances.size:

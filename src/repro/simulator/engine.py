@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence, Set, Union
 from repro.config import SimulationConfig
 from repro.core.groups import GroupingResult
 from repro.errors import SimulationError
+from repro.faults.schedule import FaultSchedule
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.obs.profiling import perf_seconds
 from repro.simulator.cache import EdgeCache
@@ -22,6 +23,8 @@ from repro.simulator.events import (
     CacheRecoverEvent,
     EventQueue,
     OriginUpdateEvent,
+    PartitionEndEvent,
+    PartitionStartEvent,
     RequestEvent,
 )
 from repro.simulator.group_proto import GroupProtocol, LookupOutcome
@@ -48,6 +51,7 @@ class SimulationEngine:
         failures: Sequence[Union[CacheFailEvent, CacheRecoverEvent]] = (),
         observer: Optional[Observer] = None,
         event_loop: str = "sorted",
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         if event_loop not in ("sorted", "heap"):
             raise SimulationError(
@@ -76,12 +80,23 @@ class SimulationEngine:
         # Failed caches, shared with the protocol so lookups never
         # target them.
         self._down: Set[NodeId] = set()
+        # Active partitions (node -> partition id), shared with the
+        # protocol so cooperative lookups never cross a cut.
+        self._partition_of: Dict[NodeId, int] = {}
+        self._fault_schedule = faults
+        if faults is not None:
+            faults.validate()
+            self._partition_timeout_ms = faults.partition_timeout_ms
+        else:
+            self._partition_timeout_ms = 500.0
         self._protocol = GroupProtocol(
             network,
             grouping,
             group_lookup_ms=self._config.group_lookup_ms,
             mode=group_protocol_mode,
             unavailable=self._down,
+            partition_of=self._partition_of,
+            partition_timeout_ms=self._partition_timeout_ms,
         )
         self._latency = LatencyModel(network, self._config)
         self._metrics = SimulationMetrics(network.cache_nodes)
@@ -136,6 +151,26 @@ class SimulationEngine:
                     f"{failure.cache_node}"
                 )
             self._events.push(failure)
+        if faults is not None:
+            for fault_event in faults.events():
+                if isinstance(
+                    fault_event, (PartitionStartEvent, PartitionEndEvent)
+                ):
+                    for node in fault_event.nodes:
+                        if (
+                            node not in self._caches
+                            and node != network.origin
+                        ):
+                            raise SimulationError(
+                                f"partition names unknown node {node} "
+                                f"(not a cache or the origin)"
+                            )
+                elif fault_event.cache_node not in self._caches:
+                    raise SimulationError(
+                        f"fault schedule targets unknown cache "
+                        f"{fault_event.cache_node}"
+                    )
+                self._events.push(fault_event)
 
         total_requests = len(workload.requests)
         self._warmup_remaining = int(
@@ -150,6 +185,8 @@ class SimulationEngine:
             OriginUpdateEvent: self._handle_update,
             CacheFailEvent: self._handle_fail,
             CacheRecoverEvent: self._handle_recover,
+            PartitionStartEvent: self._handle_partition_start,
+            PartitionEndEvent: self._handle_partition_end,
         }
 
     @property
@@ -339,7 +376,17 @@ class SimulationEngine:
     def _origin_account(
         self, cache_node: NodeId, size: int, query_ms: float, now_ms: float
     ):
-        """Origin-fetch latency account, congestion-aware when enabled."""
+        """Origin-fetch latency account, congestion-aware when enabled.
+
+        A cache partitioned away from the origin first waits out the
+        partition timeout before the fetch succeeds (modelling the
+        retry over a backup path once the primary times out).
+        """
+        if self._partition_of and not self._protocol.reachable(
+            cache_node, self._network.origin
+        ):
+            query_ms += self._partition_timeout_ms
+            self._metrics.cache_stats(cache_node).partition_timeouts += 1
         processing = None
         if self._origin_load is not None:
             self._origin_load.record_arrival(now_ms)
@@ -420,6 +467,31 @@ class SimulationEngine:
                 event.timestamp_ms, event.cache_node
             )
 
+    def _handle_partition_start(self, event: PartitionStartEvent) -> None:
+        """A node set splits off; overlapping partitions are rejected."""
+        for node in event.nodes:
+            if node in self._partition_of:
+                raise SimulationError(
+                    f"node {node} is already in partition "
+                    f"{self._partition_of[node]}"
+                )
+            self._partition_of[node] = event.partition_id
+        if self._instrumented:
+            self._observer.on_partition_start(
+                event.timestamp_ms, event.nodes
+            )
+
+    def _handle_partition_end(self, event: PartitionEndEvent) -> None:
+        """The partition heals; its nodes rejoin the main component."""
+        for node in event.nodes:
+            if node not in self._partition_of:
+                raise SimulationError(
+                    f"node {node} left a partition it was never in"
+                )
+            del self._partition_of[node]
+        if self._instrumented:
+            self._observer.on_partition_end(event.timestamp_ms, event.nodes)
+
     def _handle_update(self, event: OriginUpdateEvent) -> None:
         self._origin.apply_update(event.doc_id)
         if self._instrumented:
@@ -433,6 +505,12 @@ class SimulationEngine:
         # drops its stale copy (see repro.simulator.origin for the
         # immediacy simplification).
         for holder in list(self._protocol.all_holders(event.doc_id)):
+            if self._partition_of and not self._protocol.reachable(
+                holder, self._network.origin
+            ):
+                # The invalidation cannot cross the cut; the partitioned
+                # holder keeps (and may serve) its stale copy.
+                continue
             dropped = self.cache(holder).invalidate(event.doc_id)
             if dropped:
                 self._metrics.record_invalidation(holder)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.types import DocumentId, NodeId
@@ -63,8 +63,38 @@ class CacheRecoverEvent:
     priority: int = field(default=0, init=False, repr=False)
 
 
+@dataclass(frozen=True)
+class PartitionStartEvent:
+    """A set of nodes is cut off from everything outside the set.
+
+    Partitioned caches keep their contents and keep serving local hits,
+    but cooperative queries and origin fetches across the cut time out.
+    Sorts with the other fault events (priority 0) so a request at the
+    same timestamp already sees the partition.
+    """
+
+    timestamp_ms: float
+    nodes: Tuple[NodeId, ...]
+    partition_id: int
+    priority: int = field(default=0, init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class PartitionEndEvent:
+    """The partition heals; the node set rejoins the main component."""
+
+    timestamp_ms: float
+    nodes: Tuple[NodeId, ...]
+    priority: int = field(default=0, init=False, repr=False)
+
+
 Event = Union[
-    RequestEvent, OriginUpdateEvent, CacheFailEvent, CacheRecoverEvent
+    RequestEvent,
+    OriginUpdateEvent,
+    CacheFailEvent,
+    CacheRecoverEvent,
+    PartitionStartEvent,
+    PartitionEndEvent,
 ]
 
 

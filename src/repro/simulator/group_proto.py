@@ -71,6 +71,8 @@ class GroupProtocol:
         group_lookup_ms: float = 0.3,
         mode: str = "beacon",
         unavailable: Optional[Set[NodeId]] = None,
+        partition_of: Optional[Dict[NodeId, int]] = None,
+        partition_timeout_ms: float = 500.0,
     ) -> None:
         if mode not in ("beacon", "multicast", "directory"):
             raise SimulationError(f"unknown group protocol mode {mode!r}")
@@ -89,6 +91,16 @@ class GroupProtocol:
         self._unavailable: Set[NodeId] = (
             unavailable if unavailable is not None else set()
         )
+        # Shared, caller-mutated map node -> active partition id.  Two
+        # nodes can talk iff they map to the same partition (both
+        # unpartitioned nodes map to None via .get).  Empty = no
+        # partition active, and every check below short-circuits.
+        self._partition_of: Dict[NodeId, int] = (
+            partition_of if partition_of is not None else {}
+        )
+        if partition_timeout_ms < 0:
+            raise SimulationError("partition_timeout_ms must be >= 0")
+        self._partition_timeout_ms = partition_timeout_ms
 
         self._peers: Dict[NodeId, List[NodeId]] = {}
         self._max_peer_rtt: Dict[NodeId, float] = {}
@@ -156,10 +168,20 @@ class GroupProtocol:
         """Available group peers of ``cache`` currently holding ``doc_id``."""
         group = self._require_group(cache)
         holders = self._holders.get(doc_id, {}).get(group, set())
-        return [
+        out = [
             h for h in holders
             if h != cache and h not in self._unavailable
         ]
+        if self._partition_of:
+            side = self._partition_of.get(cache)
+            out = [h for h in out if self._partition_of.get(h) == side]
+        return out
+
+    def reachable(self, a: NodeId, b: NodeId) -> bool:
+        """True when no active partition separates the two nodes."""
+        if not self._partition_of:
+            return True
+        return self._partition_of.get(a) == self._partition_of.get(b)
 
     def all_holders(self, doc_id: DocumentId) -> List[NodeId]:
         """Every cache network-wide holding the document (for invalidation)."""
@@ -205,23 +227,50 @@ class GroupProtocol:
                     query_ms=query_ms,
                     messages=1,  # the unanswered query
                 )
+            if beacon != cache and not self.reachable(cache, beacon):
+                # The beacon is alive but on the other side of a
+                # partition: the query never returns and the requester
+                # waits out the full partition timeout before falling
+                # back to the origin.
+                return LookupResult(
+                    outcome=LookupOutcome.GROUP_MISS,
+                    holder=None,
+                    query_ms=self._lookup_ms + self._partition_timeout_ms,
+                    messages=1,  # the unanswered query
+                )
         else:  # multicast
             live_peers = [p for p in peers if p not in self._unavailable]
+            if self._partition_of:
+                reachable_live = [
+                    p for p in live_peers if self.reachable(cache, p)
+                ]
+            else:
+                reachable_live = live_peers
             if holders:
-                # Proceed on the nearest holder's positive reply.
+                # Proceed on the nearest holder's positive reply
+                # (holders_in_group already filtered out peers across
+                # the partition).
                 query_ms = self._lookup_ms + self._nearest_rtt(
                     rtt_row, holders
                 )[1]
-            elif live_peers:
-                # Must collect every live peer's negative reply before
-                # giving up (down peers simply never answer; we charge
-                # the live-peer wait, not a timeout).
-                query_ms = self._lookup_ms + max(
-                    float(rtt_row[p]) for p in live_peers
-                )
             else:
+                # Must collect every reachable live peer's negative
+                # reply before giving up (down peers simply never
+                # answer; we charge the live-peer wait, not a timeout).
+                # Partitioned live peers *do* cost a timeout: the
+                # requester cannot tell a slow reply from a cut link.
                 query_ms = self._lookup_ms
-            messages = len(peers) + len(live_peers)  # queries + live replies
+                if reachable_live:
+                    query_ms += max(
+                        float(rtt_row[p]) for p in reachable_live
+                    )
+                if len(reachable_live) != len(live_peers):
+                    query_ms = max(
+                        query_ms,
+                        self._lookup_ms + self._partition_timeout_ms,
+                    )
+            # queries + live replies (partitioned peers never reply)
+            messages = len(peers) + len(reachable_live)
 
         if holders:
             nearest, _ = self._nearest_rtt(rtt_row, holders)

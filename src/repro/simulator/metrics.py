@@ -48,6 +48,9 @@ class CacheStats:
     #: requests that arrived while this cache was failed (served by
     #: falling through to the origin)
     requests_while_down: int = 0
+    #: origin fetches that first waited out a partition timeout because
+    #: this cache was cut off from the origin
+    partition_timeouts: int = 0
 
     @property
     def requests(self) -> int:

@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence
 from repro.config import SimulationConfig
 from repro.core.groups import GroupingResult
 from repro.errors import SimulationError
+from repro.faults.schedule import FaultSchedule
 from repro.obs.observer import Observer
 from repro.obs.sampler import TimeSeries
 from repro.obs.trace import TraceRecord
@@ -94,6 +95,7 @@ def simulate(
     failures: Sequence = (),
     observer: Optional[Observer] = None,
     event_loop: str = "sorted",
+    faults: Optional["FaultSchedule"] = None,
 ) -> SimulationResult:
     """Run the cooperative edge cache network simulation to completion.
 
@@ -123,6 +125,7 @@ def simulate(
         failures=failures,
         observer=observer,
         event_loop=event_loop,
+        faults=faults,
     )
     metrics = engine.run()
     return SimulationResult(

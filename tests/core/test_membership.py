@@ -174,3 +174,73 @@ class TestSnapshot:
             small_network, manager.current_grouping(), workload
         )
         assert result.average_latency_ms() > 0
+
+
+class TestFailedAwareJoin:
+    """Peer-probe joins skip caches that are currently down."""
+
+    def test_group_with_only_failed_members_skipped(
+        self, paper_network, paper_grouping
+    ):
+        manager = MembershipManager(paper_grouping)
+        manager.leave(6)
+        prober = Prober(paper_network, noise=NoNoise(), seed=0)
+        # Node 6's nearest peer (node 5) is down, emptying group 2's
+        # sampling pool; the join must land in a live group instead.
+        group_id = manager.join(
+            prober, 6, seed=1, samples_per_group=2, failed={5}
+        )
+        assert group_id != 2
+        assert 6 in manager.members_of(group_id)
+
+    def test_all_groups_dead_raises_actionable_error(
+        self, paper_network, paper_grouping
+    ):
+        manager = MembershipManager(paper_grouping)
+        manager.leave(6)
+        prober = Prober(paper_network, noise=NoNoise(), seed=0)
+        with pytest.raises(SchemeError, match="failed members"):
+            manager.join(
+                prober, 6, seed=1, failed={1, 2, 3, 4, 5}
+            )
+
+    def test_empty_failed_set_is_byte_identical(
+        self, paper_network, paper_grouping
+    ):
+        """``failed=set()`` must not shift pools or RNG draws."""
+        results = []
+        for failed in (None, set()):
+            manager = MembershipManager(paper_grouping)
+            manager.leave(6)
+            prober = Prober(paper_network, seed=0)
+            group_id = manager.join(
+                prober, 6, seed=1, samples_per_group=2, failed=failed
+            )
+            results.append((group_id, prober.stats.probes_sent))
+        assert results[0] == results[1]
+
+    def test_partial_failures_leave_live_peers_probed(
+        self, paper_network, paper_grouping
+    ):
+        manager = MembershipManager(paper_grouping)
+        manager.leave(6)
+        prober = Prober(paper_network, noise=NoNoise(), seed=0)
+        # Group 2 still has node 5 alive; the dead node 3 only thins
+        # group 1's pool.
+        group_id = manager.join(
+            prober, 6, seed=1, samples_per_group=2, failed={3}
+        )
+        assert group_id == 2
+
+    def test_landmark_strategy_ignores_failed(
+        self, small_network, sl_grouping
+    ):
+        """Landmark joins probe landmarks, not peers: ``failed`` is
+        documented as a peer-probe concern and changes nothing."""
+        results = []
+        for failed in (None, {1}):
+            manager = MembershipManager(sl_grouping)
+            manager.leave(5)
+            prober = Prober(small_network, noise=NoNoise(), seed=0)
+            results.append(manager.join(prober, 5, failed=failed))
+        assert results[0] == results[1]

@@ -10,6 +10,7 @@ class TestRegistry:
     def test_all_figures_registered(self):
         assert set(REGISTRY) == {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "figR",
         }
 
     def test_runners_callable(self):

@@ -1,0 +1,119 @@
+"""Coordinator degraded mode: imputation, landmark failover, provenance."""
+
+import numpy as np
+import pytest
+
+from repro.config import LandmarkConfig
+from repro.core.schemes import SLScheme
+from repro.faults import FaultConfig
+from repro.persist import load_grouping, save_grouping
+
+
+def form(network, faults=None, seed=3, k=5, num_landmarks=6):
+    scheme = SLScheme(
+        landmark_config=LandmarkConfig(num_landmarks=num_landmarks)
+    )
+    return scheme.form_groups(network, k, seed=seed, faults=faults)
+
+
+class TestNoopFaults:
+    def test_noop_config_identical_to_no_faults(self, small_network):
+        baseline = form(small_network)
+        noop = form(small_network, faults=FaultConfig())
+        assert noop.groups == baseline.groups
+        assert not noop.degraded
+        assert noop.fault_report is None
+
+    def test_active_faults_set_provenance(self, small_network):
+        grouping = form(
+            small_network, faults=FaultConfig(probe_loss_rate=0.3)
+        )
+        assert grouping.fault_report is not None
+        assert grouping.fault_report["probes_lost"] > 0
+
+
+class TestLandmarkFailover:
+    def faults(self):
+        return FaultConfig(crashed_landmarks=1)
+
+    def test_crashed_landmark_replaced(self, small_network):
+        grouping = form(small_network, faults=self.faults())
+        assert grouping.degraded
+        report = grouping.fault_report
+        assert report["landmarks_crashed"] == 1.0
+        assert report["landmarks_replaced"] >= 1.0
+        # The final grouping still covers every cache with k groups.
+        assert sorted(grouping.all_members) == sorted(
+            small_network.cache_nodes
+        )
+
+    def test_features_are_finite_after_failover(self, small_network):
+        grouping = form(small_network, faults=self.faults())
+        assert grouping.features is not None
+        assert np.isfinite(grouping.features.matrix).all()
+
+    def test_failover_is_deterministic(self, small_network):
+        a = form(small_network, faults=self.faults())
+        b = form(small_network, faults=self.faults())
+        assert a.groups == b.groups
+        assert a.landmarks.nodes == b.landmarks.nodes
+        assert a.fault_report == b.fault_report
+
+    def test_different_seed_may_pick_other_victims(self, small_network):
+        a = form(small_network, faults=self.faults(), seed=3)
+        b = form(small_network, faults=self.faults(), seed=4)
+        # Both degrade; the groupings need not match.
+        assert a.degraded and b.degraded
+
+
+class TestLossDegradation:
+    def test_heavy_loss_imputes_and_reports(self, small_network):
+        grouping = form(
+            small_network,
+            faults=FaultConfig(probe_loss_rate=0.45, max_retries=1),
+        )
+        report = grouping.fault_report
+        assert report["probes_lost"] > 0
+        assert report["retries"] > 0
+        assert report["timeout_wait_ms"] > 0
+        assert grouping.features is not None
+        assert np.isfinite(grouping.features.matrix).all()
+
+    def test_loss_run_is_deterministic(self, small_network):
+        config = FaultConfig(probe_loss_rate=0.45, max_retries=1)
+        a = form(small_network, faults=config)
+        b = form(small_network, faults=config)
+        assert a.groups == b.groups
+        assert a.fault_report == b.fault_report
+
+
+class TestDegradedPersistence:
+    def test_degraded_flag_round_trips(self, small_network, tmp_path):
+        grouping = form(
+            small_network, faults=FaultConfig(crashed_landmarks=1)
+        )
+        assert grouping.degraded
+        path = tmp_path / "grouping.json"
+        save_grouping(grouping, path)
+        assert load_grouping(path).degraded
+
+    def test_clean_grouping_json_has_no_degraded_key(
+        self, small_network, tmp_path
+    ):
+        """Fault-free archives stay byte-compatible with pre-fault ones."""
+        import json
+
+        grouping = form(small_network)
+        path = tmp_path / "grouping.json"
+        save_grouping(grouping, path)
+        payload = json.loads(path.read_text())
+        assert "degraded" not in payload
+        assert not load_grouping(path).degraded
+
+
+class TestValidationAtEntry:
+    def test_invalid_fault_config_rejected(self, small_network):
+        from repro.errors import ProbingError
+
+        with pytest.raises(ProbingError, match="probe_loss_rate"):
+            form(small_network, faults=FaultConfig(probe_loss_rate=-0.5))

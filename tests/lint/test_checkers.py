@@ -12,6 +12,7 @@ from repro.lint import (
     IterationOrderChecker,
     MutableDefaultChecker,
     RngDisciplineChecker,
+    SwallowedExceptionChecker,
     SimulatedTimeChecker,
     SourceFile,
     default_checkers,
@@ -420,6 +421,121 @@ class TestMutableDefaults:
         assert hits == []
 
 
+class TestSwallowedException:
+    def test_silent_broad_handlers_flagged(self):
+        hits = run_checker(
+            SwallowedExceptionChecker(),
+            """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    pass
+
+            def probe():
+                try:
+                    return 1
+                except:
+                    return None
+            """,
+        )
+        assert hits == [
+            ("swallowed-exception", 4),
+            ("swallowed-exception", 10),
+        ]
+
+    def test_broad_name_in_tuple_flagged(self):
+        hits = run_checker(
+            SwallowedExceptionChecker(),
+            """\
+            def f():
+                try:
+                    g()
+                except (ValueError, Exception):
+                    return None
+            """,
+        )
+        assert hits == [("swallowed-exception", 4)]
+
+    def test_narrow_handler_is_clean(self):
+        hits = run_checker(
+            SwallowedExceptionChecker(),
+            """\
+            def f(path):
+                try:
+                    return open(path).read()
+                except FileNotFoundError:
+                    return ""
+            """,
+        )
+        assert hits == []
+
+    def test_reraise_is_clean(self):
+        hits = run_checker(
+            SwallowedExceptionChecker(),
+            """\
+            def f():
+                try:
+                    g()
+                except Exception as exc:
+                    raise RuntimeError("wrapped") from exc
+            """,
+        )
+        assert hits == []
+
+    def test_logged_handler_is_clean(self):
+        hits = run_checker(
+            SwallowedExceptionChecker(),
+            """\
+            import logging
+
+            log = logging.getLogger(__name__)
+
+            def f():
+                try:
+                    g()
+                except Exception:
+                    log.warning("g failed, continuing")
+            """,
+        )
+        assert hits == []
+
+    def test_warnings_and_traceback_reports_are_clean(self):
+        hits = run_checker(
+            SwallowedExceptionChecker(),
+            """\
+            import traceback
+            import warnings
+
+            def f():
+                try:
+                    g()
+                except Exception:
+                    warnings.warn("g failed")
+
+            def h():
+                try:
+                    g()
+                except BaseException:
+                    traceback.print_exc()
+            """,
+        )
+        assert hits == []
+
+    def test_nested_raise_counts_as_handled(self):
+        hits = run_checker(
+            SwallowedExceptionChecker(),
+            """\
+            def f(strict):
+                try:
+                    g()
+                except Exception:
+                    if strict:
+                        raise
+            """,
+        )
+        assert hits == []
+
 def test_every_checker_declares_distinct_rules():
     seen = {}
     for checker in default_checkers():
@@ -430,4 +546,4 @@ def test_every_checker_declares_distinct_rules():
                 f"{seen[rule.rule_id]} and {checker.name}"
             )
             seen[rule.rule_id] = checker.name
-    assert len(seen) == 7
+    assert len(seen) == 8

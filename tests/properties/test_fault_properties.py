@@ -1,0 +1,154 @@
+"""Property-based tests for fault-injection invariants.
+
+Randomized seeded fault schedules must never break the simulator's
+accounting: every request is still served exactly once, no request is
+ever served by a crashed or partition-severed peer, and the parallel
+experiment runtime stays bit-identical to the serial one with faults
+active.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    CacheConfig,
+    DocumentConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.core.groups import GroupingResult, groups_from_labels
+from repro.faults import random_fault_schedule
+from repro.runtime.scheduler import TaskScheduler, use_scheduler
+from repro.simulator import SimulationEngine, simulate
+from repro.simulator.group_proto import LookupOutcome
+from repro.topology import build_network
+from repro.utils.rng import RngFactory
+from repro.workload import generate_workload
+
+
+@st.composite
+def faulted_cases(draw):
+    num_caches = draw(st.integers(4, 9))
+    k = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 10_000))
+    crash_fraction = draw(st.sampled_from([0.0, 0.25, 0.5]))
+    partition_count = draw(st.integers(0, 2))
+    return num_caches, k, seed, crash_fraction, partition_count
+
+
+def _build_case(num_caches, k, seed, crash_fraction, partition_count):
+    network = build_network(num_caches=num_caches, seed=seed)
+    workload = generate_workload(
+        network.cache_nodes,
+        WorkloadConfig(
+            documents=DocumentConfig(num_documents=25),
+            requests_per_cache=20,
+        ),
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(k, size=num_caches)
+    grouping = GroupingResult(
+        scheme="random",
+        groups=groups_from_labels(network.cache_nodes, labels),
+    )
+    duration = max(r.timestamp_ms for r in workload.requests) + 1.0
+    schedule = random_fault_schedule(
+        list(network.cache_nodes),
+        duration,
+        RngFactory(seed + 1),
+        crash_fraction=crash_fraction,
+        partition_count=partition_count,
+        partition_size=max(1, num_caches // 3),
+    )
+    config = SimulationConfig(
+        cache=CacheConfig(capacity_fraction=0.3), warmup_fraction=0.0
+    )
+    return network, grouping, workload, config, schedule
+
+
+class TestConservationUnderFaults:
+    @settings(max_examples=15, deadline=None)
+    @given(faulted_cases())
+    def test_every_request_served_exactly_once(self, case):
+        network, grouping, workload, config, schedule = _build_case(*case)
+        result = simulate(
+            network, grouping, workload, config, faults=schedule
+        )
+        metrics = result.metrics
+        assert metrics.conservation_holds()
+        assert metrics.total_requests() == workload.num_requests
+        rates = metrics.hit_rates()
+        assert sum(rates.values()) == pytest.approx(1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(faulted_cases())
+    def test_faulted_run_is_deterministic(self, case):
+        runs = []
+        for _ in range(2):
+            network, grouping, workload, config, schedule = _build_case(*case)
+            runs.append(
+                simulate(network, grouping, workload, config, faults=schedule)
+            )
+        a, b = runs
+        assert a.metrics.hit_rates() == b.metrics.hit_rates()
+        assert a.metrics.average_latency_ms() == b.metrics.average_latency_ms()
+
+
+class TestNoDeadServers:
+    @settings(max_examples=15, deadline=None)
+    @given(faulted_cases())
+    def test_no_group_hit_from_failed_or_partitioned_cache(self, case):
+        """A cooperative hit may only come from a live, reachable peer.
+
+        The protocol's ``lookup`` is wrapped in place so every GROUP_HIT
+        is checked against the liveness and partition state *at the
+        moment the lookup resolved*, not after the run.
+        """
+        network, grouping, workload, config, schedule = _build_case(*case)
+        engine = SimulationEngine(
+            network, grouping, workload, config, faults=schedule
+        )
+        protocol = engine.protocol
+        original = protocol.lookup
+        violations = []
+
+        def spying_lookup(cache, doc_id):
+            result = original(cache, doc_id)
+            if result.outcome is LookupOutcome.GROUP_HIT:
+                holder = result.holder
+                if holder in protocol._unavailable:
+                    violations.append((cache, doc_id, holder, "down"))
+                if not protocol.reachable(cache, holder):
+                    violations.append((cache, doc_id, holder, "partitioned"))
+            return result
+
+        protocol.lookup = spying_lookup
+        engine.run()
+        assert violations == []
+
+
+class TestParallelByteIdentity:
+    def test_figr_jobs4_matches_serial(self):
+        """The fault sweep is bit-identical under the process pool."""
+        from repro.experiments.figr_fault_sweep import run_figr
+
+        kwargs = dict(
+            loss_rates=(0.0, 0.3),
+            fail_landmark_counts=(0, 1),
+            num_caches=20,
+            num_landmarks=5,
+            seed=11,
+            repetitions=1,
+            requests_per_cache=25,
+            num_documents=50,
+        )
+        serial_scheduler = TaskScheduler(jobs=1)
+        with serial_scheduler, use_scheduler(serial_scheduler):
+            serial = run_figr(**kwargs)
+        pool = TaskScheduler(jobs=4)
+        with pool, use_scheduler(pool):
+            parallel = run_figr(**kwargs)
+        assert serial == parallel

@@ -1,0 +1,268 @@
+"""Network partitions: degraded cooperation, timeouts, stale serves."""
+
+import pytest
+
+from repro.config import CacheConfig, DocumentConfig, SimulationConfig
+from repro.core.groups import CacheGroup, GroupingResult
+from repro.errors import SimulationError
+from repro.faults import FaultSchedule, PartitionSpec, random_fault_schedule
+from repro.simulator import SimulationEngine, simulate
+from repro.topology import network_from_matrix
+from repro.utils.rng import RngFactory
+from repro.workload import Workload, build_catalog
+from repro.workload.trace import RequestRecord, UpdateRecord
+
+
+@pytest.fixture
+def network():
+    return network_from_matrix(
+        [
+            [0.0, 10.0, 20.0, 30.0],
+            [10.0, 0.0, 4.0, 25.0],
+            [20.0, 4.0, 0.0, 25.0],
+            [30.0, 25.0, 25.0, 0.0],
+        ]
+    )
+
+
+@pytest.fixture
+def catalog():
+    return build_catalog(
+        DocumentConfig(
+            num_documents=4, mean_size_bytes=1000.0, size_sigma=0.0,
+            dynamic_fraction=0.0,
+        ),
+        seed=1,
+    )
+
+
+def config(**overrides):
+    return SimulationConfig(
+        cache=CacheConfig(capacity_fraction=0.5), warmup_fraction=0.0,
+        **overrides,
+    )
+
+
+def one_group():
+    return GroupingResult(
+        scheme="manual", groups=(CacheGroup(0, (1, 2, 3)),)
+    )
+
+
+def engine_for(network, catalog, requests, faults, updates=(), cfg=None):
+    workload = Workload(
+        catalog=catalog, requests=tuple(requests), updates=tuple(updates)
+    )
+    return SimulationEngine(
+        network, one_group(), workload, cfg or config(), faults=faults
+    )
+
+
+def window(nodes, start=10.0, end=30.0, timeout=500.0):
+    return FaultSchedule(
+        partitions=(
+            PartitionSpec(start_ms=start, end_ms=end, nodes=tuple(nodes)),
+        ),
+        partition_timeout_ms=timeout,
+    )
+
+
+class TestCooperationAcrossTheCut:
+    def test_partitioned_holder_not_a_group_hit(self, network, catalog):
+        requests = [
+            RequestRecord(0.0, 2, 0),   # cache 2 stores doc 0
+            RequestRecord(20.0, 1, 0),  # 2 is cut off: no group hit
+        ]
+        engine = engine_for(network, catalog, requests, window([2]))
+        metrics = engine.run()
+        assert metrics.cache_stats(1).group_hits == 0
+        assert metrics.cache_stats(1).origin_fetches == 1
+
+    def test_unreachable_beacon_costs_the_timeout(self, network, catalog):
+        # Doc 1 hashes to beacon member 2 of the sorted group [1, 2, 3].
+        assert one_group().groups[0].members == (1, 2, 3)
+        requests = [RequestRecord(20.0, 1, 1)]
+        engine = engine_for(
+            network, catalog, requests, window([2], timeout=500.0)
+        )
+        assert engine.protocol.beacon_of(1, 1) == 2
+        metrics = engine.run()
+        stats = metrics.cache_stats(1)
+        assert stats.origin_fetches == 1
+        # Latency includes the wasted partition timeout on the beacon.
+        assert stats.latency.mean >= 500.0
+
+    def test_heal_restores_group_hits(self, network, catalog):
+        requests = [
+            RequestRecord(0.0, 2, 0),   # cache 2 stores doc 0
+            RequestRecord(40.0, 3, 0),  # after heal: cooperative hit
+        ]
+        engine = engine_for(network, catalog, requests, window([2]))
+        metrics = engine.run()
+        assert metrics.cache_stats(3).group_hits == 1
+
+    def test_multicast_waits_out_partitioned_peer(self, network, catalog):
+        requests = [RequestRecord(20.0, 1, 0)]
+        workload = Workload(
+            catalog=catalog, requests=tuple(requests), updates=()
+        )
+        engine = SimulationEngine(
+            network, one_group(), workload, config(),
+            group_protocol_mode="multicast",
+            faults=window([3], timeout=500.0),
+        )
+        metrics = engine.run()
+        stats = metrics.cache_stats(1)
+        # The group-wide miss cannot conclude before the timeout.
+        assert stats.latency.mean >= 500.0
+
+
+class TestOriginPartition:
+    def test_cut_from_origin_pays_timeout(self, network, catalog):
+        origin = network.origin
+        schedule = window([origin, 1], timeout=400.0)
+        # Cache 1 shares the origin's side: free.  Cache 3 is on the
+        # other side of the cut: every origin fetch waits the timeout.
+        requests = [
+            RequestRecord(20.0, 1, 0),
+            RequestRecord(21.0, 3, 1),
+        ]
+        engine = engine_for(network, catalog, requests, schedule)
+        metrics = engine.run()
+        assert metrics.cache_stats(1).partition_timeouts == 0
+        assert metrics.cache_stats(3).partition_timeouts == 1
+        assert metrics.cache_stats(3).latency.mean >= 400.0
+
+
+class TestStaleServes:
+    @pytest.fixture
+    def dynamic_catalog(self):
+        # Updates only target dynamic documents.
+        return build_catalog(
+            DocumentConfig(
+                num_documents=4, mean_size_bytes=1000.0, size_sigma=0.0,
+                dynamic_fraction=1.0,
+            ),
+            seed=1,
+        )
+
+    def test_invalidation_skipped_across_the_cut(
+        self, network, dynamic_catalog
+    ):
+        requests = [
+            RequestRecord(0.0, 2, 0),    # cache 2 stores doc 0
+            RequestRecord(25.0, 2, 0),   # stale local hit inside window
+        ]
+        updates = [UpdateRecord(15.0, 0)]
+        engine = engine_for(
+            network, dynamic_catalog, requests, window([2]), updates=updates
+        )
+        metrics = engine.run()
+        stats = metrics.cache_stats(2)
+        assert stats.local_hits == 1
+        assert stats.stale_serves == 1
+        assert stats.invalidations_received == 0
+
+    def test_invalidation_reaches_connected_holders(
+        self, network, dynamic_catalog
+    ):
+        requests = [
+            RequestRecord(0.0, 1, 0),
+            RequestRecord(25.0, 1, 0),   # invalidated: origin again
+        ]
+        updates = [UpdateRecord(15.0, 0)]
+        engine = engine_for(
+            network, dynamic_catalog, requests, window([2]), updates=updates
+        )
+        metrics = engine.run()
+        stats = metrics.cache_stats(1)
+        assert stats.invalidations_received == 1
+        assert stats.stale_serves == 0
+
+
+class TestScheduleValidationInEngine:
+    def test_overlapping_partition_rejected_at_runtime(
+        self, network, catalog
+    ):
+        schedule = FaultSchedule(
+            partitions=(
+                PartitionSpec(start_ms=10.0, end_ms=40.0, nodes=(2,)),
+                PartitionSpec(start_ms=20.0, end_ms=30.0, nodes=(2, 3)),
+            )
+        )
+        engine = engine_for(
+            network, catalog, [RequestRecord(0.0, 1, 0)], schedule
+        )
+        with pytest.raises(SimulationError, match="already in partition"):
+            engine.run()
+
+    def test_unknown_partition_node_rejected(self, network, catalog):
+        with pytest.raises(SimulationError, match="unknown node"):
+            engine_for(
+                network, catalog, [RequestRecord(0.0, 1, 0)], window([99])
+            )
+
+    def test_crash_schedule_of_unknown_cache_rejected(self, network, catalog):
+        schedule = FaultSchedule(crashes=((5.0, 42),))
+        with pytest.raises(SimulationError, match="unknown cache"):
+            engine_for(
+                network, catalog, [RequestRecord(0.0, 1, 0)], schedule
+            )
+
+
+class TestNoFaultEquivalence:
+    def requests(self):
+        return [
+            RequestRecord(float(i * 3), 1 + (i % 3), i % 4)
+            for i in range(24)
+        ]
+
+    def test_empty_schedule_matches_no_schedule(self, network, catalog):
+        a = engine_for(
+            network, catalog, self.requests(), FaultSchedule()
+        ).run()
+        b = engine_for(network, catalog, self.requests(), None).run()
+        assert a.hit_rates() == b.hit_rates()
+        assert a.average_latency_ms() == b.average_latency_ms()
+
+
+class TestSimulateIntegration:
+    def test_simulate_accepts_fault_schedule(self, network, catalog):
+        workload = Workload(
+            catalog=catalog,
+            requests=tuple(
+                RequestRecord(float(i * 5), 1 + (i % 3), i % 4)
+                for i in range(40)
+            ),
+            updates=(),
+        )
+        schedule = FaultSchedule(
+            crashes=((40.0, 2),),
+            recoveries=((120.0, 2),),
+            partitions=(
+                PartitionSpec(start_ms=60.0, end_ms=100.0, nodes=(3,)),
+            ),
+        )
+        result = simulate(
+            network, one_group(), workload, config(), faults=schedule
+        )
+        assert result.metrics.conservation_holds()
+        assert result.metrics.total_requests() == 40
+
+    def test_random_schedule_runs_clean(self, network, catalog):
+        schedule = random_fault_schedule(
+            [1, 2, 3], 200.0, RngFactory(4),
+            crash_fraction=0.4, partition_count=1, partition_size=1,
+        )
+        workload = Workload(
+            catalog=catalog,
+            requests=tuple(
+                RequestRecord(float(i * 5), 1 + (i % 3), i % 4)
+                for i in range(40)
+            ),
+            updates=(),
+        )
+        result = simulate(
+            network, one_group(), workload, config(), faults=schedule
+        )
+        assert result.metrics.conservation_holds()

@@ -353,3 +353,141 @@ class TestReportCommand:
         code = main(["report", str(tmp_path / "nope.json")])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestFaultFlags:
+    def test_form_groups_with_faults_reports_degraded(
+        self, capsys, tmp_path, network_file
+    ):
+        out_path = tmp_path / "degraded.json"
+        code = main(
+            [
+                "form-groups",
+                "--network", str(network_file),
+                "--scheme", "SL",
+                "--k", "3",
+                "--landmarks", "5",
+                "--probe-loss", "0.3",
+                "--fail-landmarks", "1",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded formation" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["degraded"] is True
+
+    def test_zero_fault_flags_leave_archive_clean(
+        self, tmp_path, network_file
+    ):
+        """Explicit zeros are a no-op: byte-identical archive."""
+        paths = []
+        for name, extra in (
+            ("plain.json", []),
+            ("zeros.json", ["--probe-loss", "0.0", "--fail-landmarks", "0"]),
+        ):
+            path = tmp_path / name
+            code = main(
+                [
+                    "form-groups",
+                    "--network", str(network_file),
+                    "--scheme", "SL",
+                    "--k", "3",
+                    "--landmarks", "5",
+                    "--out", str(path),
+                ]
+                + extra
+            )
+            assert code == 0
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_simulate_manifest_carries_fault_counters(
+        self, tmp_path, network_file
+    ):
+        from repro.persist import load_manifest
+
+        manifest_path = tmp_path / "run.json"
+        code = main(
+            [
+                "simulate",
+                "--network", str(network_file),
+                "--scheme", "SL",
+                "--k", "3",
+                "--landmarks", "5",
+                "--requests-per-cache", "20",
+                "--documents", "50",
+                "--probe-loss", "0.3",
+                "--fail-landmarks", "1",
+                "--crash", "2:100",
+                "--crash", "3:200:400",
+                "--partition", "150:300:4,5",
+                "--manifest", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        manifest = load_manifest(manifest_path)
+        assert manifest.config["probe_loss"] == 0.3
+        assert manifest.config["fail_landmarks"] == 1
+        assert manifest.run_stats["degraded"] == 1.0
+        for key in ("probes_lost", "retries", "timeouts"):
+            assert key in manifest.run_stats
+        assert manifest.run_stats["scheduled_crashes"] == 2.0
+        assert manifest.run_stats["scheduled_partitions"] == 1.0
+        assert "partition_timeouts" in manifest.run_stats
+
+    def test_formation_faults_conflict_with_preformed_groups(
+        self, capsys, network_file, groups_file
+    ):
+        code = main(
+            [
+                "simulate",
+                "--network", str(network_file),
+                "--groups", str(groups_file),
+                "--probe-loss", "0.2",
+            ]
+        )
+        assert code == 1
+        assert "re-run form-groups" in capsys.readouterr().err
+
+    def test_malformed_crash_spec_rejected(self, capsys, network_file):
+        code = main(
+            [
+                "simulate",
+                "--network", str(network_file),
+                "--scheme", "SL",
+                "--k", "3",
+                "--landmarks", "5",
+                "--crash", "banana",
+            ]
+        )
+        assert code == 1
+        assert "--crash" in capsys.readouterr().err
+
+    def test_malformed_partition_spec_rejected(self, capsys, network_file):
+        code = main(
+            [
+                "simulate",
+                "--network", str(network_file),
+                "--scheme", "SL",
+                "--k", "3",
+                "--landmarks", "5",
+                "--partition", "10:20",
+            ]
+        )
+        assert code == 1
+        assert "--partition" in capsys.readouterr().err
+
+    def test_invalid_probe_loss_rejected(self, capsys, network_file):
+        code = main(
+            [
+                "form-groups",
+                "--network", str(network_file),
+                "--k", "3",
+                "--landmarks", "5",
+                "--probe-loss", "1.5",
+            ]
+        )
+        assert code == 1
+        assert "probe_loss_rate" in capsys.readouterr().err
