@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test check bench bench-tables examples suite clean
+.PHONY: install lint test sanitize-smoke check bench bench-tables examples suite clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,7 +20,19 @@ lint:
 test:
 	$(PYTHON) -m pytest tests/
 
-check: lint test
+# Runtime half of the determinism guarantees: capture the draw ledger
+# of one real figure serially and under --jobs 2, then require zero
+# divergence (docs/static-analysis.md walks through a failure).
+sanitize-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli sanitize run --figure fig6 \
+		--repetitions 1 --out .sanitize_serial.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli sanitize run --figure fig6 \
+		--repetitions 1 --jobs 2 --out .sanitize_jobs2.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli sanitize diff \
+		.sanitize_serial.json .sanitize_jobs2.json
+	rm -f .sanitize_serial.json .sanitize_jobs2.json
+
+check: lint test sanitize-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -38,4 +50,5 @@ suite:
 # outputs of the figure suite, not build artifacts.
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	rm -f .sanitize_serial.json .sanitize_jobs2.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

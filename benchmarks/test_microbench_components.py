@@ -91,6 +91,58 @@ def test_simulator_throughput(benchmark, network100):
     assert result.metrics.total_requests() > 0
 
 
+def test_simulator_throughput_sanitized(benchmark, network100):
+    """Event loop under the draw-ledger sanitizer (repro.sanitize).
+
+    The acceptance budget is <= 10% over ``test_simulator_throughput``;
+    the batch event recorder keeps it near zero.  Disabled cost is
+    exactly zero by construction — ``test_sanitize_not_imported_by_hot_
+    paths`` proves the hot paths never even import the package.
+    """
+    from repro.sanitize import sanitize
+
+    workload = _throughput_workload(network100)
+    grouping = single_group(network100.cache_nodes)
+
+    def run():
+        with sanitize() as state:
+            result = simulate(network100, grouping, workload)
+        return result, state.ledger
+
+    result, ledger = benchmark(run)
+    assert result.metrics.total_requests() > 0
+    assert ledger.total_draws() > 0
+
+
+def test_sanitize_not_imported_by_hot_paths():
+    """Flag off => zero overhead: a plain run never loads the sanitizer."""
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    probe = (
+        "import sys\n"
+        "from repro.topology import build_network\n"
+        "from repro.core.groups import single_group\n"
+        "from repro.config import WorkloadConfig, DocumentConfig\n"
+        "from repro.workload import generate_workload\n"
+        "from repro.simulator import simulate\n"
+        "network = build_network(num_caches=20, seed=5)\n"
+        "workload = generate_workload(network.cache_nodes,\n"
+        "    WorkloadConfig(documents=DocumentConfig(num_documents=50),\n"
+        "                   requests_per_cache=10), seed=9)\n"
+        "simulate(network, single_group(network.cache_nodes), workload)\n"
+        "bad = [m for m in sys.modules if m.startswith('repro.sanitize')]\n"
+        "assert not bad, f'hot path imported {bad}'\n"
+    )
+    subprocess.run(
+        [sys.executable, "-c", probe], check=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd=str(Path(__file__).resolve().parents[1]),
+    )
+
+
 def test_simulator_throughput_instrumented(benchmark, network100):
     """Same event loop with tracing and sampling enabled — the price of
     full instrumentation, to compare against the uninstrumented run."""

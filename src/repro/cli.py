@@ -19,6 +19,13 @@ and its time-series summary.  ``repro lint`` runs the determinism
 invariant linter (see :mod:`repro.lint` and docs/static-analysis.md)::
 
     repro lint [paths...] [--format json] [--baseline PATH]
+
+``repro sanitize`` is the linter's runtime companion: it records a
+draw ledger while an experiment runs and diffs two ledgers to locate
+the first non-deterministic site (see :mod:`repro.sanitize`)::
+
+    repro sanitize run --figure fig6 --out ledger.json [--jobs N]
+    repro sanitize diff serial.json parallel.json
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from repro.core.schemes import scheme_by_name
 from repro.errors import ReproError
 from repro.experiments import REGISTRY, run_experiment
 from repro.lint.cli import configure_parser as configure_lint_parser
+from repro.sanitize.cli import configure_parser as configure_sanitize_parser
 from repro.persist import (
     load_grouping,
     load_network,
@@ -194,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
              "invariants (repro.lint)",
     )
     configure_lint_parser(lint)
+
+    san = sub.add_parser(
+        "sanitize",
+        help="capture or diff runtime draw ledgers (repro.sanitize)",
+    )
+    configure_sanitize_parser(san)
 
     cmp_parser = sub.add_parser(
         "compare", help="diff two archived experiment results (JSON)"
@@ -595,6 +609,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.sanitize.cli import run_sanitize
+
+    return run_sanitize(args)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import compare_results
     from repro.persist import load_result
@@ -613,6 +633,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "experiment": _cmd_experiment,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
     "compare": _cmd_compare,
 }
 

@@ -52,6 +52,9 @@ def _fig4_unit(payload: dict) -> float:
     grouping = scheme.form_groups(
         network,
         payload["k"],
+        # The label is the scheme name straight from the work-unit
+        # payload — one stream per (fork_seed, scheme) by construction.
+        # repro-lint: allow[stream-label-collision]
         seed=RngFactory(payload["fork_seed"]).stream(payload["scheme"]),
     )
     return average_group_interaction_cost(network, grouping)

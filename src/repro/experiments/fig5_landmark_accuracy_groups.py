@@ -49,7 +49,9 @@ def _fig5_unit(payload: dict) -> float:
     grouping = scheme.form_groups(
         network,
         payload["k"],
-        seed=RngFactory(payload["rep_seed"]).stream(payload["stream"]),
+        seed=RngFactory(payload["rep_seed"]).stream(
+            f"k{payload['k']}-{payload['scheme']}"
+        ),
     )
     return average_group_interaction_cost(network, grouping)
 
@@ -85,7 +87,6 @@ def run_fig5(
             "num_landmarks": num_landmarks,
             "scheme": name,
             "rep_seed": rep_seeds[rep],
-            "stream": f"k{k}-{name}",
         }
         for k in k_values
         for rep in range(repetitions)

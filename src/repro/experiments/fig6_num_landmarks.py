@@ -47,7 +47,9 @@ def _fig6_unit(payload: dict) -> float:
     grouping = scheme.form_groups(
         network,
         payload["num_groups"],
-        seed=RngFactory(payload["rep_seed"]).stream(payload["stream"]),
+        seed=RngFactory(payload["rep_seed"]).stream(
+            f"l{payload['num_landmarks']}-{payload['scheme']}"
+        ),
     )
     return average_group_interaction_cost(network, grouping)
 
@@ -80,7 +82,6 @@ def run_fig6(
             "num_landmarks": count,
             "scheme": name,
             "rep_seed": rep_seeds[rep],
-            "stream": f"l{count}-{name}",
         }
         for count in landmark_counts
         for rep in range(repetitions)

@@ -45,7 +45,9 @@ def _fig7_unit(payload: dict) -> float:
     grouping = scheme.form_groups(
         network,
         payload["k"],
-        seed=RngFactory(payload["rep_seed"]).stream(payload["stream"]),
+        seed=RngFactory(payload["rep_seed"]).stream(
+            f"k{payload['k']}-{payload['scheme']}"
+        ),
     )
     return average_group_interaction_cost(network, grouping)
 
@@ -80,7 +82,6 @@ def run_fig7(
             "gnp_dimensions": gnp_dimensions,
             "scheme": scheme,
             "rep_seed": rep_seeds[rep],
-            "stream": f"k{k}-{scheme}",
         }
         for k in k_values
         for rep in range(repetitions)

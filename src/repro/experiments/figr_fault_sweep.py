@@ -74,6 +74,9 @@ def _figr_unit(payload: dict) -> Dict[str, float]:
     grouping = scheme.form_groups(
         testbed.network,
         payload["k"],
+        # The label is the scheme name straight from the work-unit
+        # payload — one stream per (fork_seed, scheme) by construction.
+        # repro-lint: allow[stream-label-collision]
         seed=RngFactory(payload["fork_seed"]).stream(payload["scheme"]),
         faults=faults,
     )

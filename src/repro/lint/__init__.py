@@ -35,6 +35,12 @@ from repro.lint.checkers import (
     rule_catalog,
 )
 from repro.lint.findings import Finding, sort_findings
+from repro.lint.project import (
+    PROJECT_RULES,
+    ProjectModel,
+    project_rule_catalog,
+    run_project_passes,
+)
 from repro.lint.reporters import render_json, render_text
 from repro.lint.runner import (
     PARSE_ERROR,
@@ -54,6 +60,8 @@ __all__ = [
     "LintReport",
     "MutableDefaultChecker",
     "PARSE_ERROR",
+    "PROJECT_RULES",
+    "ProjectModel",
     "RngDisciplineChecker",
     "Rule",
     "SimulatedTimeChecker",
@@ -63,8 +71,10 @@ __all__ = [
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "project_rule_catalog",
     "render_json",
     "render_text",
     "rule_catalog",
+    "run_project_passes",
     "sort_findings",
 ]

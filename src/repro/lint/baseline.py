@@ -16,11 +16,16 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.lint.findings import Finding
 
 BASELINE_VERSION = 1
+
+
+def baseline_key_path(key: str) -> str:
+    """The file path component of a ``path::rule`` baseline key."""
+    return key.rsplit("::", 1)[0]
 
 
 @dataclass
@@ -72,6 +77,38 @@ class Baseline:
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+
+    def merged_update(
+        self,
+        findings: List[Finding],
+        linted_files: Iterable[str],
+        root: Optional[Path] = None,
+    ) -> "Baseline":
+        """The baseline ``--update-baseline`` should write.
+
+        Three ingredients, in priority order:
+
+        * the findings of *this* run replace every old entry for a file
+          that was actually linted (the ratchet: fixed findings shrink
+          the allowance, they never silently return);
+        * entries for files **outside** the linted set are preserved —
+          updating from ``repro lint src/repro/lint`` must not wipe the
+          grandfathered findings of the rest of the tree;
+        * entries whose file no longer exists on disk (relative to
+          ``root``, default the current directory) are pruned — a
+          deleted or renamed file takes its allowance with it.
+        """
+        base = (root or Path.cwd()).resolve()
+        linted = set(linted_files)
+        entries = dict(Baseline.from_findings(findings).entries)
+        for key in sorted(self.entries):
+            path = baseline_key_path(key)
+            if path in linted:
+                continue  # superseded by this run's findings
+            if not (base / path).exists():
+                continue  # stale: the file is gone
+            entries[key] = self.entries[key]
+        return Baseline(entries=entries)
 
     def partition(
         self, findings: List[Finding]

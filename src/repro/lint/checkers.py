@@ -42,6 +42,26 @@ ITER_ORDER = "iter-order"
 MUTABLE_DEFAULT = "mutable-default"
 SWALLOWED_EXCEPTION = "swallowed-exception"
 
+#: Host-clock reads banned in simulated-time code.  Shared with the
+#: cross-module pass (:mod:`repro.lint.project`), which treats the same
+#: calls as taint sinks when reached *through helpers*.
+WALLCLOCK_BANNED = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: ``numpy.random`` attributes that are generator plumbing, not the
+#: legacy global-state surface.  Shared with :mod:`repro.lint.project`.
+NUMPY_RNG_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
 
 class RngDisciplineChecker(Checker):
     """All randomness must flow through seeded ``np.random.Generator``s."""
@@ -58,10 +78,7 @@ class RngDisciplineChecker(Checker):
 
     #: numpy.random attributes that are generator plumbing, not the
     #: legacy global-state surface.
-    _NUMPY_ALLOWED = frozenset({
-        "default_rng", "Generator", "SeedSequence", "BitGenerator",
-        "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
-    })
+    _NUMPY_ALLOWED = NUMPY_RNG_ALLOWED
 
     #: The one module allowed to normalise a None seed into OS entropy.
     _UNSEEDED_ALLOWED_SUFFIX = "utils/rng.py"
@@ -123,15 +140,7 @@ class SimulatedTimeChecker(Checker):
     #: wall-clock reads through it (e.g. ``perf_seconds``).
     _ALLOWED_SUFFIXES = ("obs/profiling.py",)
 
-    _BANNED = frozenset({
-        "time.time", "time.time_ns",
-        "time.perf_counter", "time.perf_counter_ns",
-        "time.monotonic", "time.monotonic_ns",
-        "time.process_time", "time.process_time_ns",
-        "time.clock_gettime", "time.clock_gettime_ns",
-        "datetime.datetime.now", "datetime.datetime.utcnow",
-        "datetime.datetime.today", "datetime.date.today",
-    })
+    _BANNED = WALLCLOCK_BANNED
 
     def _in_scope(self, source: SourceFile) -> bool:
         for suffix in self._ALLOWED_SUFFIXES:
@@ -315,9 +324,10 @@ class IterationOrderChecker(Checker):
     )
 
     _LISTING_CALLS = frozenset({
-        "os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob",
+        "os.listdir", "os.scandir", "os.walk", "os.fwalk",
+        "glob.glob", "glob.iglob",
     })
-    _PATHLIB_METHODS = frozenset({"iterdir", "glob", "rglob"})
+    _PATHLIB_METHODS = frozenset({"iterdir", "glob", "rglob", "walk"})
     _SEQUENCING_BUILTINS = frozenset({"list", "tuple", "enumerate", "iter"})
 
     def check(self, source: SourceFile) -> Iterator[Finding]:

@@ -3,10 +3,13 @@
 Exit codes: ``0`` — clean (no findings outside the baseline); ``1`` —
 new findings; ``2`` — usage error (missing path or baseline).
 
-``--update-baseline`` rewrites the baseline to exactly the current
-findings and exits 0: the ratchet workflow is *fix what you can, then
-re-baseline the remainder deliberately* (the diff shows what was
-grandfathered, so it is reviewable like any other change).
+``--update-baseline`` rewrites the baseline and exits 0: the ratchet
+workflow is *fix what you can, then re-baseline the remainder
+deliberately* (the diff shows what was grandfathered, so it is
+reviewable like any other change).  The rewrite replaces entries for
+files that were actually linted, preserves entries for files outside
+the linted paths, and prunes entries whose file no longer exists — see
+:meth:`repro.lint.baseline.Baseline.merged_update`.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from typing import List, Optional, TextIO, Tuple
 
 from repro.lint.baseline import Baseline
 from repro.lint.checkers import rule_catalog
+from repro.lint.project import project_rule_catalog
 from repro.lint.reporters import render_json, render_text
 from repro.lint.runner import lint_paths
 
@@ -43,6 +47,11 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--update-baseline", action="store_true",
         help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-project", action="store_true",
+        help="skip the cross-module call-graph passes "
+             "(transitive-wallclock/-rng, stream-label-collision)",
     )
     parser.add_argument(
         "--verbose", action="store_true",
@@ -82,7 +91,7 @@ def run_lint(
     err: TextIO = stderr if stderr is not None else sys.stderr
 
     if args.list_rules:
-        catalog = rule_catalog()
+        catalog = {**rule_catalog(), **project_rule_catalog()}
         width = max(len(rule_id) for rule_id in catalog)
         for rule_id in sorted(catalog):
             print(f"{rule_id.ljust(width)}  {catalog[rule_id]}", file=out)
@@ -94,7 +103,9 @@ def run_lint(
 
     paths: List[Path] = [Path(p) for p in args.paths]
     try:
-        report = lint_paths(paths, baseline=baseline)
+        report = lint_paths(
+            paths, baseline=baseline, project=not args.no_project
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=err)
         return 2
@@ -103,10 +114,14 @@ def run_lint(
         target = baseline_path if baseline_path is not None else Path(
             DEFAULT_BASELINE
         )
-        Baseline.from_findings(report.all_findings).save(target)
+        previous = baseline if baseline is not None else Baseline()
+        updated = previous.merged_update(
+            report.all_findings, report.checked_files
+        )
+        updated.save(target)
         print(
-            f"wrote {target} ({len(report.all_findings)} grandfathered "
-            f"findings)",
+            f"wrote {target} ({len(updated.entries)} grandfathered "
+            f"path::rule entries)",
             file=out,
         )
         return 0

@@ -38,6 +38,7 @@ class LintReport:
     grandfathered: List[Finding] = field(default_factory=list)
     suppressed: int = 0
     files_checked: int = 0
+    checked_files: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -126,22 +127,37 @@ def lint_paths(
     checkers: Optional[Sequence[Checker]] = None,
     baseline: Optional[Baseline] = None,
     root: Optional[Path] = None,
+    project: bool = True,
 ) -> LintReport:
     """Lint every Python file under ``paths`` and build the report.
 
     ``root`` anchors the relative paths used in findings and baseline
-    keys (defaults to the current working directory).
+    keys (defaults to the current working directory).  With ``project``
+    (the default) the cross-module passes in :mod:`repro.lint.project`
+    also run, over the same parsed sources — files are read and parsed
+    exactly once either way.
     """
     active = list(checkers) if checkers is not None else list(default_checkers())
     report = LintReport()
     collected: List[Finding] = []
+    sources: List[SourceFile] = []
     for file in iter_python_files(paths):
         text = file.read_text(encoding="utf-8")
         source = SourceFile(display_path(file, root=root), text)
+        sources.append(source)
         findings, suppressed = lint_source(source, active)
         collected.extend(findings)
         report.suppressed += suppressed
         report.files_checked += 1
+        report.checked_files.append(source.display_path)
+    if project:
+        # Imported lazily so `checkers`-only callers never pay for the
+        # graph machinery.
+        from repro.lint.project import run_project_passes
+
+        project_findings, project_suppressed = run_project_passes(sources)
+        collected.extend(project_findings)
+        report.suppressed += project_suppressed
     collected = sort_findings(collected)
     if baseline is not None:
         report.findings, report.grandfathered = baseline.partition(collected)

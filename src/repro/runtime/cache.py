@@ -33,7 +33,10 @@ import pickle
 import tempfile
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Union, cast
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topology.network import EdgeCacheNetwork
 
 PathLike = Union[str, Path]
 
@@ -245,7 +248,7 @@ def testbed_key(
 
 def cached_network(
     num_caches: int, factory_seed: int, stream: str = "topology"
-):
+) -> "EdgeCacheNetwork":
     """Build (or fetch) the network for one ``RngFactory`` derivation.
 
     Equivalent to ``build_network(num_caches,
@@ -258,10 +261,14 @@ def cached_network(
     from repro.utils.rng import RngFactory
 
     key = network_key(num_caches, factory_seed, stream)
-    return get_cache().get_or_build(
+    value = get_cache().get_or_build(
         key,
         lambda: build_network(
             num_caches=num_caches,
+            # ``stream`` is part of the cache key above: distinct labels
+            # always hit distinct factories, so no collision is possible.
+            # repro-lint: allow[stream-label-collision]
             seed=RngFactory(factory_seed).stream(stream),
         ),
     )
+    return cast("EdgeCacheNetwork", value)

@@ -38,24 +38,76 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from repro.obs.profiling import PhaseRegistry, activate, current_registry
 from repro.runtime.cache import get_cache, stats_delta
 
-#: A task's remote outcome: (value, phase totals, cache counter delta).
-TaskOutcome = Tuple[Any, Dict[str, float], Dict[str, int]]
+#: A task's remote outcome: (value, phase totals, cache counter delta,
+#: draw-ledger segment or None).
+TaskOutcome = Tuple[
+    Any, Dict[str, float], Dict[str, int], Optional[Dict[str, Any]]
+]
+
+#: The draw-ledger hook installed by ``repro.sanitize`` (duck-typed:
+#: ``capture()`` context manager yielding a box with ``.payload``, and
+#: ``absorb(payload)``).  None — the overwhelmingly common case — costs
+#: one global read per task; the scheduler never imports the sanitizer.
+_TASK_LEDGER: Optional[Any] = None
+
+
+def set_task_ledger(hook: Optional[Any]) -> Optional[Any]:
+    """Install (or clear, with None) the task draw-ledger hook.
+
+    Returns the previously-installed hook so callers can restore it.
+    """
+    global _TASK_LEDGER
+    previous = _TASK_LEDGER
+    _TASK_LEDGER = hook
+    return previous
+
+
+def task_ledger() -> Optional[Any]:
+    """The currently-installed draw-ledger hook, if any."""
+    return _TASK_LEDGER
 
 
 def run_task(payload: Tuple[Callable[[Any], Any], Any]) -> TaskOutcome:
     """Execute one task in a worker, capturing its observability.
 
     Module-level so it is picklable by every start method.  The task
-    runs under a private :class:`PhaseRegistry`; its phase totals and
-    the worker cache's counter delta ride back with the value.
+    runs under a private :class:`PhaseRegistry`; its phase totals, the
+    worker cache's counter delta, and (when a sanitizer is active) its
+    draw-ledger segment ride back with the value.
     """
     fn, arg = payload
     cache_before = get_cache().stats()
     registry = PhaseRegistry()
-    with activate(registry):
-        value = fn(arg)
+    hook = _TASK_LEDGER
+    ledger_segment: Optional[Dict[str, Any]] = None
+    if hook is None:
+        with activate(registry):
+            value = fn(arg)
+    else:
+        with activate(registry), hook.capture() as box:
+            value = fn(arg)
+        ledger_segment = box.payload
     delta = stats_delta(cache_before, get_cache().stats())
-    return value, registry.total_seconds(), delta
+    return value, registry.total_seconds(), delta, ledger_segment
+
+
+def _map_inline(fn: Callable[[Any], Any], args: Sequence[Any]) -> List[Any]:
+    """Serial map, honouring the draw-ledger hook like a pool would.
+
+    Capturing each unit as its own segment (instead of recording
+    straight into the parent ledger) keeps phase attribution identical
+    between ``jobs=1`` and ``jobs=N`` — both record units under the
+    ``task`` phase and fold segments back in task order.
+    """
+    hook = _TASK_LEDGER
+    if hook is None:
+        return [fn(arg) for arg in args]
+    values: List[Any] = []
+    for arg in args:
+        with hook.capture() as box:
+            values.append(fn(arg))
+        hook.absorb(box.payload)
+    return values
 
 
 class TaskScheduler:
@@ -98,22 +150,27 @@ class TaskScheduler:
         self, fn: Callable[[Any], Any], args: Sequence[Any]
     ) -> List[Any]:
         """Apply ``fn`` to every element of ``args``, preserving order."""
-        args = list(args)
-        if self._jobs == 1 or len(args) <= 1:
-            return [fn(arg) for arg in args]
+        items = list(args)
+        if self._jobs == 1 or len(items) <= 1:
+            return _map_inline(fn, items)
 
         outcomes = list(
-            self._pool().map(run_task, [(fn, arg) for arg in args])
+            self._pool().map(run_task, [(fn, arg) for arg in items])
         )
         registry = current_registry()
         prefix = registry.current_path() if registry is not None else ""
         cache = get_cache()
+        hook = _TASK_LEDGER
         values: List[Any] = []
-        for value, phase_totals, cache_delta in outcomes:
+        for value, phase_totals, cache_delta, ledger_segment in outcomes:
             if registry is not None and phase_totals:
                 registry.merge_totals(phase_totals, prefix=prefix)
             if cache_delta:
                 cache.absorb_stats(cache_delta)
+            if hook is not None and ledger_segment is not None:
+                # Task order == serial order, so folding segments here
+                # reproduces the serial ledger bit for bit.
+                hook.absorb(ledger_segment)
             values.append(value)
         return values
 
@@ -148,5 +205,5 @@ def map_tasks(fn: Callable[[Any], Any], args: Sequence[Any]) -> List[Any]:
     """Map through the ambient scheduler (inline when none is active)."""
     scheduler = _ACTIVE.get()
     if scheduler is None:
-        return [fn(arg) for arg in args]
+        return _map_inline(fn, list(args))
     return scheduler.map(fn, args)

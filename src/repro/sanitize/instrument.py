@@ -1,0 +1,424 @@
+"""Opt-in runtime instrumentation behind the ``sanitize()`` context.
+
+Nothing in this module is imported by the runtime's hot paths:
+``repro.utils.rng`` and ``repro.simulator.events`` do not know the
+sanitizer exists, so a run without ``sanitize()`` pays exactly zero
+overhead.  Entering the context installs the instrumentation by
+patching, and leaving restores every original:
+
+* ``RngFactory.stream`` — the returned generator is replaced (in the
+  factory's stream cache, so it stays identity-stable) by a
+  :class:`np.random.Generator` subclass sharing the *same*
+  ``BitGenerator``.  Draws are bit-identical to the uninstrumented run;
+  each draw additionally folds a digest into the ledger under the
+  site fingerprint ``module:qualname#label`` of the code that first
+  acquired the stream.
+* ``RngFactory.fork`` — records one ledger event per fork, so label
+  drift in a sweep shows up as a site mismatch, not just downstream.
+* ``EventQueue.pop`` / ``drain_sorted`` — every popped simulation event
+  folds ``(event type, timestamp)`` into a per-phase hash, catching
+  event-order divergence independently of RNG draws.
+* ``TestbedCache.get_or_build`` — recording is *suspended* inside cache
+  builds: a serial run builds each testbed once and reuses it, while
+  every pool worker may rebuild it, so build-time draws legitimately
+  differ between equivalent runs and must not enter the ledger.
+* the task scheduler's ledger hook — each work unit records into a
+  fresh segment (under the phase ``"task"``, both inline and pooled)
+  and the parent folds segments back **in task order**, which the
+  rolling hash makes equivalent to serial recording.
+
+``sanitize()`` does not nest and is not thread-safe — it guards one
+run at a time, which is how the CLI and CI use it.
+"""
+
+from __future__ import annotations
+
+import sys
+import zlib
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sanitize.ledger import _POLY, Ledger, value_digest
+
+#: The active sanitizer, or None.  Module-global (not a ContextVar):
+#: instrumented code checks it on every draw, and fork-started pool
+#: workers inherit it with the rest of the module state.
+_ACTIVE: Optional["SanitizerState"] = None
+
+#: Frames from these modules never become site fingerprints.
+_SKIP_MODULE_PREFIXES = ("repro.sanitize", "repro.utils.rng")
+
+#: Stack frames of context kept per site.
+_STACK_DEPTH = 4
+
+#: Generator methods that consume bits and therefore get recorded.
+_DRAW_METHODS = (
+    "random", "uniform", "integers", "choice", "normal",
+    "standard_normal", "exponential", "poisson", "lognormal", "gamma",
+    "beta", "binomial", "geometric", "zipf", "pareto", "triangular",
+    "shuffle", "permutation", "permuted", "multivariate_normal",
+    "standard_exponential", "standard_gamma", "standard_cauchy",
+    "standard_t", "chisquare", "dirichlet", "multinomial", "vonmises",
+    "wald", "weibull", "laplace", "logistic", "rayleigh", "power",
+    "gumbel", "f", "hypergeometric", "negative_binomial",
+    "noncentral_chisquare", "noncentral_f", "logseries", "bytes",
+)
+
+#: Site used for event-queue pops (one per phase; events carry no label).
+EVENT_SITE = "repro.simulator.events:EventQueue.pop#event"
+
+
+class SanitizeError(RuntimeError):
+    """Misuse of the sanitizer (nesting, diffing incompatible ledgers)."""
+
+
+def active_state() -> Optional["SanitizerState"]:
+    """The sanitizer currently recording, if any."""
+    return _ACTIVE
+
+
+def _caller_site() -> Tuple[str, Tuple[str, ...]]:
+    """Fingerprint + short stack of the first frame outside plumbing."""
+    frame = sys._getframe(1)
+    stack: List[str] = []
+    fingerprint: Optional[str] = None
+    while frame is not None and len(stack) < _STACK_DEPTH:
+        module = frame.f_globals.get("__name__", "?")
+        skip = any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _SKIP_MODULE_PREFIXES
+        )
+        if not skip:
+            qualname = getattr(
+                frame.f_code, "co_qualname", frame.f_code.co_name
+            )
+            if fingerprint is None:
+                fingerprint = f"{module}:{qualname}"
+            stack.append(f"{module}:{qualname}:{frame.f_lineno}")
+        frame = frame.f_back
+    return fingerprint or "<unknown>", tuple(stack)
+
+
+#: ``type name -> crc32(name)`` cache for the per-event fast path.
+_TYPE_CRC: Dict[str, int] = {}
+
+_HASH_MASK = (1 << 64) - 1
+
+
+class SanitizerState:
+    """Ledger, phase stack, and capture plumbing for one sanitized run."""
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.ledger = Ledger(meta=meta)
+        self._target = self.ledger
+        self._phases: List[str] = []
+        self._phase_str = "main"
+        # Per-(target, phase) cached event entry: pops are by far the
+        # hottest record path, so they skip the dict walk entirely.
+        self._event_entry: Optional[Any] = None
+
+    # -- phases ------------------------------------------------------
+
+    def current_phase(self) -> str:
+        return self._phase_str
+
+    def _phase_changed(self) -> None:
+        self._phase_str = "/".join(self._phases) if self._phases else "main"
+        self._event_entry = None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Scope subsequent records under ``name`` (phases nest)."""
+        self._phases.append(name)
+        self._phase_changed()
+        try:
+            yield
+        finally:
+            self._phases.pop()
+            self._phase_changed()
+
+    # -- recording ---------------------------------------------------
+
+    def record(
+        self, site: str, draw_digest: int, stack: Tuple[str, ...] = ()
+    ) -> None:
+        self._target.record(self._phase_str, site, draw_digest, stack)
+
+    def record_event(self, event: Any) -> None:
+        entry = self._event_entry
+        if entry is None:
+            entry = self._target.entry(self._phase_str, EVENT_SITE)
+            self._event_entry = entry
+        name = type(event).__name__
+        crc = _TYPE_CRC.get(name)
+        if crc is None:
+            crc = _TYPE_CRC[name] = zlib.crc32(name.encode("ascii"))
+        # hash() of a float is deterministic across processes (only
+        # str/bytes hashing is salted), and far cheaper than repr+crc.
+        entry.record((crc * 1000003) ^ (hash(event.timestamp_ms)
+                                        & _HASH_MASK))
+
+    def record_events(self, events: List[Any]) -> None:
+        """Batch :meth:`record_event` — the drained-loop fast path.
+
+        Folds the whole batch locally and writes the entry back once;
+        identical digest to per-event recording by construction.
+        """
+        if not events:
+            return
+        entry = self._event_entry
+        if entry is None:
+            entry = self._target.entry(self._phase_str, EVENT_SITE)
+            self._event_entry = entry
+        crc_cache = _TYPE_CRC
+        digest = entry.digest
+        for event in events:
+            name = type(event).__name__
+            crc = crc_cache.get(name)
+            if crc is None:
+                crc = crc_cache[name] = zlib.crc32(name.encode("ascii"))
+            draw = (crc * 1000003) ^ (hash(event.timestamp_ms) & _HASH_MASK)
+            digest = (digest * _POLY + draw) & _HASH_MASK
+        entry.digest = digest
+        entry.count += len(events)
+
+    # -- task capture ------------------------------------------------
+
+    def begin_capture(self) -> Tuple[Ledger, List[str]]:
+        """Redirect recording into a fresh segment under phase 'task'."""
+        saved = (self._target, self._phases)
+        self._target = Ledger()
+        self._phases = ["task"]
+        self._phase_changed()
+        return saved
+
+    def end_capture(self, saved: Tuple[Ledger, List[str]]) -> Ledger:
+        captured = self._target
+        self._target, self._phases = saved
+        self._phase_changed()
+        return captured
+
+
+class _RecordingGenerator(np.random.Generator):
+    """A Generator that also folds each draw into the active ledger.
+
+    Shares the wrapped generator's ``BitGenerator``, so the stream of
+    underlying bits — and therefore every drawn value — is identical to
+    the uninstrumented run.  Recording is gated on the module-global
+    active state, so instances left behind in long-lived factories go
+    quiet the moment ``sanitize()`` exits.
+    """
+
+    # Instance attributes are assigned post-construction by
+    # _wrap_generator; np.random.Generator.__init__ only takes the
+    # bit generator.
+    _sanitize_site: str = "<unwrapped>"
+    _sanitize_stack: Tuple[str, ...] = ()
+
+
+def _make_recorder(name: str, original: Any) -> Any:
+    def recorder(
+        self: _RecordingGenerator, *args: Any, **kwargs: Any
+    ) -> Any:
+        result = original(self, *args, **kwargs)
+        state = _ACTIVE
+        if state is not None:
+            # In-place methods (shuffle) return None; digest the
+            # mutated argument instead.
+            payload = result if result is not None else (
+                args[0] if args else None
+            )
+            state.record(
+                self._sanitize_site,
+                value_digest(name, payload),
+                self._sanitize_stack,
+            )
+        return result
+
+    recorder.__name__ = name
+    return recorder
+
+
+for _name in _DRAW_METHODS:
+    _original = getattr(np.random.Generator, _name, None)
+    if _original is not None:
+        setattr(_RecordingGenerator, _name, _make_recorder(_name, _original))
+
+
+def _wrap_generator(
+    generator: np.random.Generator, site: str, stack: Tuple[str, ...]
+) -> _RecordingGenerator:
+    wrapped = _RecordingGenerator(generator.bit_generator)
+    wrapped._sanitize_site = site
+    wrapped._sanitize_stack = stack
+    return wrapped
+
+
+@contextmanager
+def _suspended() -> Iterator[None]:
+    """Temporarily stop recording (used around testbed-cache builds)."""
+    global _ACTIVE
+    saved, _ACTIVE = _ACTIVE, None
+    try:
+        yield
+    finally:
+        _ACTIVE = saved
+
+
+class _TaskLedgerHook:
+    """Duck-typed hook handed to :mod:`repro.runtime.scheduler`.
+
+    ``capture()`` wraps one work unit: records go into a private
+    segment whose dict payload rides back over the pool; ``absorb``
+    folds a payload into the parent ledger.  The scheduler only ever
+    sees this object — it never imports the sanitizer.
+    """
+
+    def __init__(self, state: SanitizerState) -> None:
+        self._state = state
+
+    @contextmanager
+    def capture(self) -> Iterator["_CaptureBox"]:
+        box = _CaptureBox()
+        state = _ACTIVE
+        if state is None:  # suspended (e.g. inside a cache build)
+            yield box
+            return
+        saved = state.begin_capture()
+        try:
+            yield box
+        finally:
+            box.payload = state.end_capture(saved).to_dict()
+
+    def absorb(self, payload: Optional[Dict[str, Any]]) -> None:
+        if payload:
+            self._state.ledger.absorb(Ledger.from_dict(payload))
+
+
+class _CaptureBox:
+    """Carries one task's ledger segment out of ``capture()``."""
+
+    payload: Optional[Dict[str, Any]] = None
+
+
+class _Patch:
+    """One reversible attribute replacement."""
+
+    def __init__(self, holder: Any, attribute: str, replacement: Any) -> None:
+        self.holder = holder
+        self.attribute = attribute
+        self.original = getattr(holder, attribute)
+        setattr(holder, attribute, replacement)
+
+    def undo(self) -> None:
+        setattr(self.holder, self.attribute, self.original)
+
+
+def _install(state: SanitizerState) -> List[_Patch]:
+    from repro.runtime import scheduler as scheduler_module
+    from repro.runtime.cache import TestbedCache
+    from repro.simulator.events import EventQueue
+    from repro.utils.rng import RngFactory
+
+    patches: List[_Patch] = []
+    original_stream = RngFactory.stream
+
+    def stream(self: RngFactory, label: str) -> np.random.Generator:
+        generator = original_stream(self, label)
+        if _ACTIVE is None or isinstance(generator, _RecordingGenerator):
+            return generator
+        site, stack = _caller_site()
+        wrapped = _wrap_generator(generator, f"{site}#{label}", stack)
+        # Replace the cached stream so repeat lookups (and identity
+        # checks) see one stable object per (factory, label).
+        self._streams[label] = wrapped
+        return wrapped
+
+    patches.append(_Patch(RngFactory, "stream", stream))
+
+    original_fork = RngFactory.fork
+
+    def fork(self: RngFactory, label: str) -> RngFactory:
+        child = original_fork(self, label)
+        active = _ACTIVE
+        if active is not None:
+            site, stack = _caller_site()
+            active.record(
+                f"{site}#fork:{label}",
+                zlib.crc32(label.encode("utf-8", "backslashreplace")),
+                stack,
+            )
+        return child
+
+    patches.append(_Patch(RngFactory, "fork", fork))
+
+    original_pop = EventQueue.pop
+
+    def pop(self: EventQueue) -> Any:
+        event = original_pop(self)
+        active = _ACTIVE
+        if active is not None:
+            active.record_event(event)
+        return event
+
+    patches.append(_Patch(EventQueue, "pop", pop))
+
+    original_drain = EventQueue.drain_sorted
+
+    def drain_sorted(self: EventQueue) -> List[Any]:
+        events = original_drain(self)
+        active = _ACTIVE
+        if active is not None:
+            active.record_events(events)
+        return events
+
+    patches.append(_Patch(EventQueue, "drain_sorted", drain_sorted))
+
+    original_get_or_build = TestbedCache.get_or_build
+
+    def get_or_build(self: TestbedCache, key: str, build: Any) -> Any:
+        def suspended_build() -> Any:
+            with _suspended():
+                return build()
+
+        return original_get_or_build(self, key, suspended_build)
+
+    patches.append(_Patch(TestbedCache, "get_or_build", get_or_build))
+
+    # Module-global assignment and set_task_ledger are equivalent; the
+    # patch records the previous hook and restores it on undo.
+    patches.append(
+        _Patch(scheduler_module, "_TASK_LEDGER", _TaskLedgerHook(state))
+    )
+    return patches
+
+
+@contextmanager
+def sanitize(
+    meta: Optional[Dict[str, Any]] = None,
+) -> Iterator[SanitizerState]:
+    """Record a draw ledger for everything run inside the context.
+
+    Yields the :class:`SanitizerState`; its ``ledger`` holds the
+    per-phase site entries and can be saved/diffed afterwards::
+
+        with sanitize(meta={"figure": "fig6"}) as state:
+            run_experiment("fig6", repetitions=1)
+        state.ledger.save("serial.json")
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise SanitizeError(
+            "sanitize() is already active; ledgers do not nest"
+        )
+    state = SanitizerState(meta=meta)
+    patches = _install(state)
+    _ACTIVE = state
+    try:
+        yield state
+    finally:
+        _ACTIVE = None
+        for patch in reversed(patches):
+            patch.undo()

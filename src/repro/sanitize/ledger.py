@@ -1,0 +1,344 @@
+"""The draw ledger: per-phase, per-site counters and rolling hashes.
+
+A :class:`Ledger` summarises every instrumented event of a run —
+RNG draws, factory forks, event-queue pops — as a map::
+
+    phase -> site fingerprint -> (count, rolling hash, stack context)
+
+where the *site fingerprint* is ``module:qualname#label`` of the code
+that acquired the stream (see :mod:`repro.sanitize.instrument`).  Two
+ledgers of equivalent runs (serial vs ``--jobs N``, or two commits)
+must be identical; :func:`diff_ledgers` pinpoints the first site where
+they are not.
+
+The rolling hash is a polynomial fold over per-draw digests::
+
+    h = (h * P + d) mod 2**64
+
+chosen because it *composes*: a segment of draws recorded into its own
+ledger (a worker task) folds into a parent hash as
+``h * P**count + h_segment`` — so a parallel run that merges task
+deltas **in task order** reproduces the serial hash bit for bit.  The
+per-draw digest ``d`` is a CRC32 over the drawn value's bytes, which is
+stable across processes (unlike ``hash()``, which is salted).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+LEDGER_VERSION = 1
+
+#: FNV-1a 64-bit prime; any odd multiplier works, this one mixes well.
+_POLY = 1099511628211
+_MOD = 1 << 64
+
+
+def fold(acc: int, digest: int) -> int:
+    """Fold one per-draw digest into a rolling hash."""
+    return (acc * _POLY + digest) % _MOD
+
+
+def fold_segment(acc: int, segment_hash: int, segment_count: int) -> int:
+    """Fold a whole recorded segment (count draws) into a rolling hash.
+
+    Equivalent to replaying the segment's draws one by one::
+
+    >>> h = fold(fold(0, 3), 7)
+    >>> fold_segment(0, h, 2) == h
+    True
+    >>> prefix = fold(0, 1)
+    >>> fold_segment(prefix, h, 2) == fold(fold(prefix, 3), 7)
+    True
+    """
+    return (acc * pow(_POLY, segment_count, _MOD) + segment_hash) % _MOD
+
+
+def value_digest(method: str, value: Any) -> int:
+    """Cross-process-stable digest of one drawn value.
+
+    CRC32 over the value's raw bytes, seeded with the method name so
+    ``integers`` and ``random`` draws that happen to share bytes still
+    differ.  Values numpy cannot view as a numeric buffer fall back to
+    ``repr``.
+    """
+    seed = zlib.crc32(method.encode("ascii"))
+    try:
+        array = np.asarray(value)
+        if array.dtype == object:
+            # Object arrays serialise as pointers — not stable across
+            # processes.  repr is.
+            raise TypeError("object dtype")
+        payload = array.dtype.str.encode("ascii") + array.tobytes()
+    except (TypeError, ValueError):
+        payload = repr(value).encode("utf-8", "backslashreplace")
+    return zlib.crc32(payload, seed)
+
+
+@dataclass
+class SiteEntry:
+    """Running record of one site within one phase."""
+
+    count: int = 0
+    digest: int = 0
+    stack: Tuple[str, ...] = ()
+
+    def record(self, draw_digest: int) -> None:
+        self.count += 1
+        self.digest = fold(self.digest, draw_digest)
+
+    def absorb(self, other: "SiteEntry") -> None:
+        """Append ``other``'s draws (in order) after this entry's."""
+        self.digest = fold_segment(self.digest, other.digest, other.count)
+        self.count += other.count
+        if not self.stack and other.stack:
+            self.stack = other.stack
+
+
+class Ledger:
+    """Phase -> site -> :class:`SiteEntry`, with JSON round-tripping."""
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.phases: Dict[str, Dict[str, SiteEntry]] = {}
+
+    # -- recording ---------------------------------------------------
+
+    def entry(
+        self, phase: str, site: str, stack: Tuple[str, ...] = ()
+    ) -> SiteEntry:
+        sites = self.phases.setdefault(phase, {})
+        found = sites.get(site)
+        if found is None:
+            found = SiteEntry(stack=stack)
+            sites[site] = found
+        return found
+
+    def record(
+        self,
+        phase: str,
+        site: str,
+        draw_digest: int,
+        stack: Tuple[str, ...] = (),
+    ) -> None:
+        self.entry(phase, site, stack).record(draw_digest)
+
+    def absorb(self, other: "Ledger") -> None:
+        """Merge ``other`` (a completed segment) into this ledger.
+
+        Per (phase, site), the segment's draws are appended after the
+        draws already recorded here — callers must absorb segments in
+        the order the serial run would have produced them (task order).
+        """
+        for phase in other.phases:
+            for site, segment in other.phases[phase].items():
+                self.entry(phase, site, segment.stack).absorb(segment)
+
+    # -- introspection -----------------------------------------------
+
+    def total_draws(self) -> int:
+        return sum(
+            entry.count
+            for sites in self.phases.values()
+            for entry in sites.values()
+        )
+
+    def sites(self) -> Iterator[Tuple[str, str, SiteEntry]]:
+        """Every ``(phase, site, entry)`` in canonical order."""
+        for phase in sorted(self.phases):
+            sites = self.phases[phase]
+            for site in sorted(sites):
+                yield phase, site, sites[site]
+
+    # -- serialisation -----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": LEDGER_VERSION,
+            "meta": self.meta,
+            "phases": {
+                phase: {
+                    site: {
+                        "count": entry.count,
+                        "digest": entry.digest,
+                        "stack": list(entry.stack),
+                    }
+                    for site, entry in sorted(sites.items())
+                }
+                for phase, sites in sorted(self.phases.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Ledger":
+        version = data.get("version")
+        if version != LEDGER_VERSION:
+            raise ValueError(
+                f"ledger has version {version!r}, expected {LEDGER_VERSION}"
+            )
+        ledger = cls(meta=data.get("meta") or {})
+        for phase, sites in (data.get("phases") or {}).items():
+            for site, raw in sites.items():
+                ledger.phases.setdefault(phase, {})[site] = SiteEntry(
+                    count=int(raw["count"]),
+                    digest=int(raw["digest"]),
+                    stack=tuple(raw.get("stack") or ()),
+                )
+        return ledger
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Ledger":
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+# -- diffing ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One (phase, site) where two ledgers disagree."""
+
+    phase: str
+    site: str
+    kind: str  # "missing-in-a" | "missing-in-b" | "count" | "digest"
+    a_count: int
+    b_count: int
+    a_digest: int
+    b_digest: int
+    stack: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.kind == "missing-in-a":
+            return (f"only in B ({self.b_count} draws) — an extra draw "
+                    f"site appeared")
+        if self.kind == "missing-in-b":
+            return (f"only in A ({self.a_count} draws) — a draw site "
+                    f"disappeared")
+        if self.kind == "count":
+            return f"draw count differs: {self.a_count} vs {self.b_count}"
+        return (f"same count ({self.a_count}) but different values "
+                f"(digest {self.a_digest:#x} vs {self.b_digest:#x})")
+
+
+@dataclass
+class DiffResult:
+    """Outcome of comparing two ledgers (meta is deliberately ignored)."""
+
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+    @property
+    def first(self) -> Optional[Divergence]:
+        return self.divergences[0] if self.divergences else None
+
+
+def diff_ledgers(a: Ledger, b: Ledger) -> DiffResult:
+    """Compare two ledgers site by site, in canonical order.
+
+    ``meta`` never participates: a serial and a ``--jobs 4`` capture of
+    the same figure carry different metadata but must have identical
+    phases.
+    """
+    result = DiffResult()
+    phases = sorted(set(a.phases) | set(b.phases))
+    for phase in phases:
+        sites_a = a.phases.get(phase, {})
+        sites_b = b.phases.get(phase, {})
+        for site in sorted(set(sites_a) | set(sites_b)):
+            entry_a = sites_a.get(site)
+            entry_b = sites_b.get(site)
+            if entry_a is None or entry_b is None:
+                present = entry_a or entry_b
+                assert present is not None
+                result.divergences.append(Divergence(
+                    phase=phase, site=site,
+                    kind="missing-in-a" if entry_a is None
+                    else "missing-in-b",
+                    a_count=entry_a.count if entry_a else 0,
+                    b_count=entry_b.count if entry_b else 0,
+                    a_digest=entry_a.digest if entry_a else 0,
+                    b_digest=entry_b.digest if entry_b else 0,
+                    stack=present.stack,
+                ))
+                continue
+            if entry_a.count != entry_b.count:
+                kind = "count"
+            elif entry_a.digest != entry_b.digest:
+                kind = "digest"
+            else:
+                continue
+            result.divergences.append(Divergence(
+                phase=phase, site=site, kind=kind,
+                a_count=entry_a.count, b_count=entry_b.count,
+                a_digest=entry_a.digest, b_digest=entry_b.digest,
+                stack=entry_a.stack or entry_b.stack,
+            ))
+    return result
+
+
+def render_diff_text(
+    result: DiffResult, label_a: str = "A", label_b: str = "B",
+    max_report: int = 5,
+) -> str:
+    """Human-readable diff report; the first divergence leads."""
+    if result.clean:
+        return "ledgers match: zero divergence"
+    lines = [
+        f"{len(result.divergences)} divergent site(s) between "
+        f"{label_a} and {label_b}; first divergence:"
+    ]
+    first = result.first
+    assert first is not None
+    lines.append(f"  phase {first.phase!r}, site {first.site}")
+    lines.append(f"    {first.describe()}")
+    for frame in first.stack:
+        lines.append(f"    at {frame}")
+    remainder = result.divergences[1:max_report]
+    if remainder:
+        lines.append("also divergent:")
+        for div in remainder:
+            lines.append(
+                f"  {div.phase!r} {div.site}: {div.describe()}"
+            )
+    hidden = len(result.divergences) - max_report
+    if hidden > 0:
+        lines.append(f"  ... and {hidden} more")
+    return "\n".join(lines)
+
+
+def render_diff_json(result: DiffResult) -> str:
+    payload = {
+        "clean": result.clean,
+        "divergences": [
+            {
+                "phase": div.phase,
+                "site": div.site,
+                "kind": div.kind,
+                "a_count": div.a_count,
+                "b_count": div.b_count,
+                "a_digest": div.a_digest,
+                "b_digest": div.b_digest,
+                "stack": list(div.stack),
+                "detail": div.describe(),
+            }
+            for div in result.divergences
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

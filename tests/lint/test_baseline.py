@@ -77,3 +77,60 @@ def test_load_drops_zero_counts(tmp_path):
         json.dumps({"version": 1, "entries": {"src/a.py::iter-order": 0}})
     )
     assert Baseline.load(path).entries == {}
+
+
+class TestMergedUpdate:
+    """``--update-baseline`` semantics: ratchet, preserve, prune."""
+
+    def test_linted_files_are_superseded_by_this_runs_findings(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "a.py").touch()
+        (tmp_path / "src" / "b.py").touch()
+        old = Baseline(entries={
+            "src/a.py::sim-wallclock": 3,   # linted again: 1 remains
+            "src/b.py::iter-order": 2,      # linted again: fully fixed
+        })
+        updated = old.merged_update(
+            [finding(line=4)],
+            linted_files=["src/a.py", "src/b.py"],
+            root=tmp_path,
+        )
+        assert updated.entries == {"src/a.py::sim-wallclock": 1}
+
+    def test_out_of_scope_entries_are_preserved(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "a.py").touch()
+        (tmp_path / "src" / "other.py").touch()
+        old = Baseline(entries={"src/other.py::iter-order": 2})
+        updated = old.merged_update(
+            [finding(line=4)], linted_files=["src/a.py"], root=tmp_path
+        )
+        # A partial `repro lint src/a.py --update-baseline` must not
+        # wipe the grandfathered findings of files it never looked at.
+        assert updated.entries == {
+            "src/a.py::sim-wallclock": 1,
+            "src/other.py::iter-order": 2,
+        }
+
+    def test_entries_for_deleted_files_are_pruned(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "a.py").touch()
+        old = Baseline(entries={
+            "src/a.py::sim-wallclock": 1,   # exists, out of scope: kept
+            "src/gone.py::iter-order": 4,   # deleted: pruned
+        })
+        updated = old.merged_update([], linted_files=[], root=tmp_path)
+        assert updated.entries == {"src/a.py::sim-wallclock": 1}
+
+    def test_round_trip_through_disk(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "kept.py").touch()
+        old = Baseline(entries={
+            "src/kept.py::iter-order": 1,
+            "src/gone.py::iter-order": 1,
+        })
+        target = tmp_path / "baseline.json"
+        old.merged_update([], linted_files=[], root=tmp_path).save(target)
+        assert Baseline.load(target).entries == {
+            "src/kept.py::iter-order": 1
+        }

@@ -362,6 +362,69 @@ class TestIterationOrder:
         )
         assert hits == [("iter-order", 1)]
 
+    def test_unsorted_scandir(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            import os
+
+            for entry in os.scandir("results"):
+                print(entry.name)
+            """,
+        )
+        assert hits == [("iter-order", 3)]
+
+    def test_unsorted_fwalk(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            import os
+
+            for root, dirs, files, fd in os.fwalk("results"):
+                print(root)
+            """,
+        )
+        assert hits == [("iter-order", 3)]
+
+    def test_bare_pathlib_glob_and_rglob(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            from pathlib import Path
+
+            found = Path("results").glob("*.json")
+            nested = Path("results").rglob("*.csv")
+            """,
+        )
+        assert hits == [("iter-order", 3), ("iter-order", 4)]
+
+    def test_pathlib_walk(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            from pathlib import Path
+
+            for root, dirs, files in Path("results").walk():
+                print(root)
+            """,
+        )
+        assert hits == [("iter-order", 3)]
+
+    def test_sorted_scandir_and_glob_are_clean(self):
+        hits = run_checker(
+            IterationOrderChecker(),
+            """\
+            import os
+            from pathlib import Path
+
+            for entry in sorted(os.scandir("results"), key=lambda e: e.name):
+                print(entry.name)
+            files = sorted(Path("results").glob("*.json"))
+            deep = sorted(Path("results").rglob("*.csv"))
+            """,
+        )
+        assert hits == []
+
     def test_set_membership_and_sorted_are_clean(self):
         hits = run_checker(
             IterationOrderChecker(),

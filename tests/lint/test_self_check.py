@@ -66,6 +66,52 @@ def test_seeded_violation_is_caught_with_rule_and_line(tmp_path):
     assert finding.path == "src/repro/clustering/kmeans.py"
 
 
+def test_seeded_transitive_wallclock_chain_is_caught(tmp_path):
+    """A helper-behind-helper clock read fails with the full call chain.
+
+    The sink lives in a fresh ``utils/`` module (outside the per-file
+    sim-wallclock directories), called through one more helper from a
+    function appended to the real engine — only the cross-module pass
+    can see it.
+    """
+    victim = REPO_ROOT / "src" / "repro" / "simulator" / "engine.py"
+    sim_dir = tmp_path / "src" / "repro" / "simulator"
+    utils_dir = tmp_path / "src" / "repro" / "utils"
+    sim_dir.mkdir(parents=True)
+    utils_dir.mkdir(parents=True)
+
+    text = victim.read_text()
+    (sim_dir / "engine.py").write_text(
+        text
+        + "\n\ndef _drift_probe():\n"
+          "    from repro.utils.hostinfo import snapshot\n"
+          "    return snapshot()\n"
+    )
+    (utils_dir / "hostinfo.py").write_text(
+        "import time\n\n\n"
+        "def snapshot():\n"
+        "    return _read_clock()\n\n\n"
+        "def _read_clock():\n"
+        "    return time.time()\n"
+    )
+    anchor_line = len(text.splitlines()) + 3  # the injected def line
+
+    report = lint_paths(
+        [tmp_path / "src"],
+        baseline=load_committed_baseline(),
+        root=tmp_path,
+    )
+    assert not report.clean
+    [finding] = report.findings
+    assert finding.rule_id == "transitive-wallclock"
+    assert finding.path == "src/repro/simulator/engine.py"
+    assert finding.line == anchor_line
+    assert (
+        "_drift_probe -> repro.utils.hostinfo:snapshot -> _read_clock "
+        "-> time.time" in finding.message
+    )
+
+
 def test_wallclock_injection_into_engine_is_caught(tmp_path):
     victim = REPO_ROOT / "src" / "repro" / "simulator" / "engine.py"
     copy_root = tmp_path / "src" / "repro" / "simulator"

@@ -92,3 +92,93 @@ def test_pragma_two_lines_above_does_not_suppress():
         """
     )
     assert [f.rule_id for f in findings] == ["sim-wallclock"]
+
+
+# -- decorated functions ------------------------------------------------
+#
+# Findings on a decorated ``def`` anchor at the *def* line (decorators
+# sit above it), so the shipped semantics are: a pragma on the def line
+# or directly above it — between the decorator and the def, or appended
+# to the decorator line itself — suppresses; a pragma above the
+# decorator stack does not.  (docs/static-analysis.md documents this.)
+
+
+def test_pragma_on_decorated_def_line_suppresses():
+    findings, suppressed = lint_snippet(
+        """\
+        import functools
+
+        @functools.wraps(print)
+        def build(extras=[]):  # repro-lint: allow[mutable-default]
+            return extras
+        """
+    )
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_pragma_between_decorator_and_def_suppresses():
+    findings, suppressed = lint_snippet(
+        """\
+        import functools
+
+        @functools.wraps(print)
+        # repro-lint: allow[mutable-default]
+        def build(extras=[]):
+            return extras
+        """
+    )
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_pragma_on_decorator_line_suppresses():
+    # The decorator line is the line directly above the def, so the
+    # usual line-above rule applies to it too.
+    findings, suppressed = lint_snippet(
+        """\
+        import functools
+
+        @functools.wraps(print)  # repro-lint: allow[mutable-default]
+        def build(extras=[]):
+            return extras
+        """
+    )
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_pragma_above_decorator_does_not_suppress():
+    findings, suppressed = lint_snippet(
+        """\
+        import functools
+
+        # repro-lint: allow[mutable-default]
+        @functools.wraps(print)
+        def build(extras=[]):
+            return extras
+        """
+    )
+    assert [f.rule_id for f in findings] == ["mutable-default"]
+    assert suppressed == 0
+
+
+def test_multi_rule_pragma_on_decorated_def():
+    # allow[a,b] lists every rule the line needs; unlisted rules on the
+    # same line still fire.
+    findings, suppressed = lint_snippet(
+        """\
+        import functools
+        import time
+
+        @functools.wraps(print)
+        def build(extras=[], when=time.time()):  # repro-lint: allow[mutable-default,sim-wallclock]
+            return extras, when
+
+        @functools.wraps(print)
+        def partial(extras=[], when=time.time()):  # repro-lint: allow[mutable-default]
+            return extras, when
+        """
+    )
+    assert [f.rule_id for f in findings] == ["sim-wallclock"]
+    assert suppressed == 3

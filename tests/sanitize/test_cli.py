@@ -1,0 +1,89 @@
+"""``repro sanitize`` run/diff: exit codes and report formats.
+
+One real (small) experiment capture is shared across the diff tests —
+the run itself is the expensive part.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def captured_ledger(tmp_path_factory):
+    out = tmp_path_factory.mktemp("sanitize") / "serial.json"
+    code = main([
+        "sanitize", "run", "--figure", "fig6", "--repetitions", "1",
+        "--out", str(out),
+    ])
+    assert code == 0
+    return out
+
+
+def test_run_writes_a_versioned_ledger(captured_ledger):
+    payload = json.loads(captured_ledger.read_text())
+    assert payload["version"] == 1
+    assert payload["meta"]["figure"] == "fig6"
+    assert payload["phases"], "a real run must record draws"
+
+
+def test_diff_of_identical_ledgers_exits_zero(captured_ledger, capsys):
+    code = main([
+        "sanitize", "diff", str(captured_ledger), str(captured_ledger),
+    ])
+    assert code == 0
+    assert "zero divergence" in capsys.readouterr().out
+
+
+def test_diff_reports_divergence_and_exits_one(
+    captured_ledger, tmp_path, capsys
+):
+    payload = json.loads(captured_ledger.read_text())
+    phase = sorted(payload["phases"])[0]
+    site = sorted(payload["phases"][phase])[0]
+    payload["phases"][phase][site]["digest"] += 1
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(payload))
+
+    code = main(["sanitize", "diff", str(captured_ledger), str(tampered)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert site in out
+    assert "different values" in out
+
+
+def test_diff_json_format(captured_ledger, tmp_path, capsys):
+    payload = json.loads(captured_ledger.read_text())
+    phase = sorted(payload["phases"])[0]
+    site = sorted(payload["phases"][phase])[0]
+    del payload["phases"][phase][site]
+    pruned = tmp_path / "pruned.json"
+    pruned.write_text(json.dumps(payload))
+
+    code = main([
+        "sanitize", "diff", str(captured_ledger), str(pruned),
+        "--format", "json",
+    ])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["clean"] is False
+    assert report["divergences"][0]["site"] == site
+    assert report["divergences"][0]["kind"] == "missing-in-b"
+
+
+def test_diff_missing_file_exits_two(tmp_path, capsys):
+    code = main([
+        "sanitize", "diff", str(tmp_path / "a.json"), str(tmp_path / "b.json"),
+    ])
+    assert code == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_diff_bad_version_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"version": 99, "phases": {}}))
+    code = main(["sanitize", "diff", str(bad), str(bad)])
+    assert code == 2
+    assert "version" in capsys.readouterr().err

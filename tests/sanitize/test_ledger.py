@@ -1,0 +1,188 @@
+"""Ledger math: rolling-hash composition, absorb, JSON, diff."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sanitize import (
+    Ledger,
+    SiteEntry,
+    diff_ledgers,
+    fold,
+    fold_segment,
+    render_diff_json,
+    render_diff_text,
+    value_digest,
+)
+
+
+class TestRollingHash:
+    def test_fold_segment_composes_like_serial_folding(self):
+        # The whole design rests on this: a segment recorded separately
+        # folds into a prefix exactly as if its draws were replayed.
+        draws = [101, 7, 42, 9, 9, 3]
+        for split in range(len(draws) + 1):
+            serial = 0
+            for d in draws:
+                serial = fold(serial, d)
+            prefix = 0
+            for d in draws[:split]:
+                prefix = fold(prefix, d)
+            segment = 0
+            for d in draws[split:]:
+                segment = fold(segment, d)
+            combined = fold_segment(prefix, segment, len(draws) - split)
+            assert combined == serial, f"split at {split}"
+
+    def test_order_sensitivity(self):
+        assert fold(fold(0, 1), 2) != fold(fold(0, 2), 1)
+
+    def test_empty_segment_is_identity(self):
+        assert fold_segment(12345, 0, 0) == 12345
+
+
+class TestValueDigest:
+    def test_stable_for_equal_arrays(self):
+        a = np.arange(10, dtype=np.int64)
+        b = np.arange(10, dtype=np.int64)
+        assert value_digest("integers", a) == value_digest("integers", b)
+
+    def test_method_name_participates(self):
+        value = np.float64(0.5)
+        assert value_digest("random", value) != value_digest("uniform", value)
+
+    def test_dtype_participates(self):
+        ones_i = np.zeros(4, dtype=np.int32)
+        ones_f = np.zeros(4, dtype=np.float32)
+        assert value_digest("m", ones_i) != value_digest("m", ones_f)
+
+    def test_unbuffered_values_fall_back_to_repr(self):
+        assert value_digest("choice", {"a": 1}) == value_digest(
+            "choice", {"a": 1}
+        )
+
+
+class TestSiteEntryAbsorb:
+    def test_absorb_equals_serial_recording(self):
+        serial = SiteEntry()
+        for d in (5, 6, 7, 8):
+            serial.record(d)
+
+        first, second = SiteEntry(), SiteEntry()
+        first.record(5)
+        first.record(6)
+        second.record(7)
+        second.record(8)
+        merged = SiteEntry()
+        merged.absorb(first)
+        merged.absorb(second)
+        assert merged.count == serial.count
+        assert merged.digest == serial.digest
+
+    def test_absorb_keeps_first_stack(self):
+        entry = SiteEntry()
+        entry.absorb(SiteEntry(count=1, digest=3, stack=("a:f:1",)))
+        entry.absorb(SiteEntry(count=1, digest=4, stack=("b:g:2",)))
+        assert entry.stack == ("a:f:1",)
+
+
+class TestLedgerSerialisation:
+    def make_ledger(self):
+        ledger = Ledger(meta={"figure": "fig6"})
+        ledger.record("main", "mod:fn#noise", 11, stack=("mod:fn:3",))
+        ledger.record("main", "mod:fn#noise", 12)
+        ledger.record("task", "mod:unit#rep0", 13)
+        return ledger
+
+    def test_round_trip(self, tmp_path):
+        ledger = self.make_ledger()
+        target = tmp_path / "ledger.json"
+        ledger.save(target)
+        loaded = Ledger.load(target)
+        assert loaded.meta == {"figure": "fig6"}
+        assert loaded.to_dict() == ledger.to_dict()
+        assert diff_ledgers(ledger, loaded).clean
+
+    def test_serialisation_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self.make_ledger().save(a)
+        self.make_ledger().save(b)
+        assert a.read_text() == b.read_text()
+
+    def test_wrong_version_is_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "phases": {}}))
+        with pytest.raises(ValueError, match="version"):
+            Ledger.load(bad)
+
+    def test_total_draws_and_canonical_site_order(self):
+        ledger = self.make_ledger()
+        assert ledger.total_draws() == 3
+        assert [(p, s) for p, s, _ in ledger.sites()] == [
+            ("main", "mod:fn#noise"),
+            ("task", "mod:unit#rep0"),
+        ]
+
+
+class TestDiff:
+    def test_identical_ledgers_are_clean(self):
+        a, b = Ledger(), Ledger()
+        for ledger in (a, b):
+            ledger.record("main", "mod:fn#x", 9)
+        result = diff_ledgers(a, b)
+        assert result.clean
+        assert render_diff_text(result) == "ledgers match: zero divergence"
+
+    def test_meta_never_participates(self):
+        a = Ledger(meta={"jobs": 1})
+        b = Ledger(meta={"jobs": 4})
+        a.record("main", "s", 1)
+        b.record("main", "s", 1)
+        assert diff_ledgers(a, b).clean
+
+    def test_count_divergence(self):
+        a, b = Ledger(), Ledger()
+        a.record("main", "mod:fn#x", 9)
+        b.record("main", "mod:fn#x", 9)
+        b.record("main", "mod:fn#x", 10)
+        [div] = diff_ledgers(a, b).divergences
+        assert div.kind == "count"
+        assert (div.a_count, div.b_count) == (1, 2)
+
+    def test_digest_divergence_with_equal_counts(self):
+        a, b = Ledger(), Ledger()
+        a.record("main", "mod:fn#x", 9)
+        b.record("main", "mod:fn#x", 10)
+        [div] = diff_ledgers(a, b).divergences
+        assert div.kind == "digest"
+
+    def test_missing_site_divergence(self):
+        a, b = Ledger(), Ledger()
+        b.record("task", "mod:unit#rep1", 5)
+        [div] = diff_ledgers(a, b).divergences
+        assert div.kind == "missing-in-a"
+        assert div.site == "mod:unit#rep1"
+
+    def test_first_divergence_is_canonical_and_rendered_with_stack(self):
+        a, b = Ledger(), Ledger()
+        a.record("alpha", "mod:early#x", 1, stack=("mod:early:10",))
+        b.record("alpha", "mod:early#x", 2, stack=("mod:early:10",))
+        a.record("beta", "mod:late#y", 3)
+        b.record("beta", "mod:late#y", 4)
+        result = diff_ledgers(a, b)
+        assert result.first.site == "mod:early#x"
+        text = render_diff_text(result, "serial", "jobs4")
+        assert "phase 'alpha', site mod:early#x" in text
+        assert "at mod:early:10" in text
+        assert "mod:late#y" in text
+
+    def test_json_rendering(self):
+        a, b = Ledger(), Ledger()
+        a.record("main", "s", 1)
+        b.record("main", "s", 2)
+        payload = json.loads(render_diff_json(diff_ledgers(a, b)))
+        assert payload["clean"] is False
+        [record] = payload["divergences"]
+        assert record["kind"] == "digest"
+        assert record["site"] == "s"
