@@ -1,0 +1,51 @@
+"""Benchmark subsystem: measure, persist, compare, and gate throughput.
+
+``repro bench run`` measures engine (and optionally full-suite)
+throughput into a versioned JSON result; ``repro bench compare`` diffs
+two results; ``repro bench gate`` fails (exit 1) when any shared
+throughput metric drops by more than the tolerance relative to a
+committed baseline (``benchmarks/baselines/``).  See
+``docs/performance.md`` and :mod:`repro.bench.core`.
+
+Like the sanitizer, nothing on the simulator/experiment hot path
+imports this package — benchmarking a run costs nothing unless
+explicitly requested.
+"""
+
+from repro.bench.core import (
+    BENCH_FORMAT_VERSION,
+    DEFAULT_SCENARIO,
+    DEFAULT_TOLERANCE,
+    SMALL_SCENARIO,
+    BenchCheck,
+    BenchResult,
+    BenchScenario,
+    GateReport,
+    compare_bench,
+    gate_bench,
+    load_bench,
+    run_bench,
+    run_engine_bench,
+    run_suite_bench,
+    save_bench,
+    scenario_by_name,
+)
+
+__all__ = [
+    "BENCH_FORMAT_VERSION",
+    "DEFAULT_SCENARIO",
+    "DEFAULT_TOLERANCE",
+    "SMALL_SCENARIO",
+    "BenchCheck",
+    "BenchResult",
+    "BenchScenario",
+    "GateReport",
+    "compare_bench",
+    "gate_bench",
+    "load_bench",
+    "run_bench",
+    "run_engine_bench",
+    "run_suite_bench",
+    "save_bench",
+    "scenario_by_name",
+]

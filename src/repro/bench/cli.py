@@ -1,0 +1,261 @@
+"""The ``repro bench`` subcommands.
+
+::
+
+    repro bench run     [--scenario default|small] [--rounds N]
+                        [--label L] [--suite] [--suite-jobs 1,2]
+                        [--out PATH] [--registry DIR]
+    repro bench compare BASELINE CANDIDATE [--format json]
+    repro bench gate    --baseline PATH [--candidate PATH]
+                        [--tolerance F] [--out PATH] [--format json]
+
+``gate`` without ``--candidate`` measures a fresh result using the
+baseline's own scenario, so CI needs exactly one committed file::
+
+    repro bench gate --baseline benchmarks/baselines/BENCH_engine_main.json \\
+        --tolerance 0.6
+
+Exit codes mirror ``repro lint``/``sanitize``: ``0`` pass, ``1`` a
+throughput metric regressed beyond the tolerance, ``2`` usage error
+(unreadable/incomparable results).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Optional, TextIO
+
+from repro.bench.core import (
+    DEFAULT_TOLERANCE,
+    BenchResult,
+    GateReport,
+    compare_bench,
+    gate_bench,
+    load_bench,
+    run_bench,
+    save_bench,
+    scenario_by_name,
+)
+from repro.errors import BenchmarkError
+from repro.utils.tables import Table
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``bench`` subcommands to a (sub)parser."""
+    sub = parser.add_subparsers(dest="bench_command", required=True)
+
+    run = sub.add_parser(
+        "run", help="measure engine (and optionally suite) throughput"
+    )
+    run.add_argument("--scenario", default="default",
+                     choices=["default", "small"])
+    run.add_argument("--rounds", type=int, metavar="N",
+                     help="best-of-N timing rounds (default: scenario's)")
+    run.add_argument("--label", default="local")
+    run.add_argument("--suite", action="store_true",
+                     help="also measure full-suite wall clock + events/s "
+                          "(slow: two complete suite runs)")
+    run.add_argument("--suite-jobs", default="1,2", metavar="N,M",
+                     help="jobs levels for --suite (default 1,2)")
+    run.add_argument("--out", metavar="PATH",
+                     help="write the result JSON here")
+    run.add_argument("--registry", metavar="DIR",
+                     help="also append the result to the run registry "
+                          "at DIR (default: $REPRO_REGISTRY)")
+
+    cmp_ = sub.add_parser(
+        "compare", help="diff two bench results' throughput metrics"
+    )
+    cmp_.add_argument("baseline")
+    cmp_.add_argument("candidate")
+    cmp_.add_argument("--format", choices=["text", "json"], default="text",
+                      dest="output_format")
+
+    gate = sub.add_parser(
+        "gate",
+        help="fail (exit 1) when the candidate regresses vs the baseline",
+    )
+    gate.add_argument("--baseline", required=True, metavar="PATH")
+    gate.add_argument("--candidate", metavar="PATH",
+                      help="pre-measured candidate; omitted = measure "
+                           "fresh with the baseline's scenario")
+    gate.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                      metavar="F",
+                      help=f"relative drop treated as a regression "
+                           f"(default {DEFAULT_TOLERANCE})")
+    gate.add_argument("--out", metavar="PATH",
+                      help="also write the (fresh) candidate result here")
+    gate.add_argument("--format", choices=["text", "json"], default="text",
+                      dest="output_format")
+
+
+def _parse_jobs_list(spec: str) -> list:
+    try:
+        levels = [int(part) for part in spec.split(",") if part.strip()]
+    except ValueError:
+        raise BenchmarkError(
+            f"--suite-jobs expects N,M,... got {spec!r}"
+        ) from None
+    if not levels or any(level < 1 for level in levels):
+        raise BenchmarkError(
+            f"--suite-jobs levels must be >= 1, got {spec!r}"
+        )
+    return levels
+
+
+def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
+    scenario = scenario_by_name(args.scenario)
+    if args.rounds is not None:
+        scenario = dataclasses.replace(scenario, rounds=args.rounds)
+    result = run_bench(
+        scenario=scenario,
+        label=args.label,
+        include_suite=args.suite,
+        suite_jobs=_parse_jobs_list(args.suite_jobs),
+    )
+    print(render_bench_text(result), file=out)
+    if args.out:
+        save_bench(result, args.out)
+        print(f"wrote {args.out}", file=out)
+    _maybe_register(args, result)
+    return 0
+
+
+def _maybe_register(args: argparse.Namespace, result: BenchResult) -> None:
+    from repro.obs.registry import resolve_registry
+
+    registry = resolve_registry(getattr(args, "registry", None))
+    if registry is None:
+        return
+    from repro.obs.manifest import RunManifest
+
+    manifest = RunManifest(label=f"bench:{result.label}")
+    manifest.created_unix = result.created_unix
+    manifest.config = {
+        "scenario": result.scenario.to_dict(),
+        "cores": result.cores,
+    }
+    manifest.run_stats = dict(result.metrics())
+    manifest.run_stats["events"] = result.engine.get("events", 0.0)
+    registry.append(manifest, kind="bench")
+
+
+def render_bench_text(result: BenchResult) -> str:
+    """Human-readable bench result."""
+    lines = [
+        f"bench {result.label}: scenario "
+        f"{result.scenario.to_dict()} on {result.cores} core(s)"
+    ]
+    table = Table(["metric", "value"], float_format="{:.1f}")
+    for name in sorted(result.engine):
+        table.add_row([f"engine.{name}", result.engine[name]])
+    for level in sorted(result.suite):
+        for name in sorted(result.suite[level]):
+            table.add_row(
+                [f"suite.{level}.{name}", result.suite[level][name]]
+            )
+    lines.append(table.render())
+    return "\n".join(lines)
+
+
+def render_gate_text(report: GateReport) -> str:
+    """Human-readable comparison/gate report."""
+    lines = [
+        f"baseline {report.baseline_label} vs candidate "
+        f"{report.candidate_label} (tolerance "
+        f"{100.0 * report.tolerance:.0f}%)"
+    ]
+    table = Table(["metric", "baseline", "candidate", "ratio", "status"])
+    for check in report.checks:
+        status = "REGRESSED" if check.regressed(report.tolerance) else "ok"
+        table.add_row([
+            check.name, f"{check.baseline:.1f}", f"{check.candidate:.1f}",
+            f"{check.ratio:.3f}", status,
+        ])
+    lines.append(table.render())
+    if report.skipped:
+        lines.append(
+            f"skipped (measured on one side only): "
+            f"{', '.join(report.skipped)}"
+        )
+    if report.regressions:
+        names = ", ".join(c.name for c in report.regressions)
+        lines.append(f"FAIL: {len(report.regressions)} regression(s): {names}")
+    else:
+        lines.append("PASS: no metric regressed beyond the tolerance")
+    return "\n".join(lines)
+
+
+def render_gate_json(report: GateReport) -> str:
+    """Machine-readable comparison/gate report."""
+    payload = {
+        "baseline": report.baseline_label,
+        "candidate": report.candidate_label,
+        "tolerance": report.tolerance,
+        "passed": report.passed,
+        "checks": [
+            {
+                "name": c.name,
+                "baseline": c.baseline,
+                "candidate": c.candidate,
+                "ratio": c.ratio,
+                "regressed": c.regressed(report.tolerance),
+            }
+            for c in report.checks
+        ],
+        "skipped": list(report.skipped),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _cmd_compare(args: argparse.Namespace, out: TextIO) -> int:
+    baseline = load_bench(args.baseline)
+    candidate = load_bench(args.candidate)
+    report = compare_bench(baseline, candidate)
+    if args.output_format == "json":
+        out.write(render_gate_json(report))
+    else:
+        print(render_gate_text(report), file=out)
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace, out: TextIO) -> int:
+    baseline = load_bench(args.baseline)
+    if args.candidate:
+        candidate = load_bench(args.candidate)
+    else:
+        candidate = run_bench(
+            scenario=baseline.scenario, label="gate-candidate"
+        )
+        if args.out:
+            save_bench(candidate, args.out)
+            print(f"wrote {args.out}", file=out)
+    report = gate_bench(baseline, candidate, tolerance=args.tolerance)
+    if args.output_format == "json":
+        out.write(render_gate_json(report))
+    else:
+        print(render_gate_text(report), file=out)
+    return 0 if report.passed else 1
+
+
+def run_bench_cli(
+    args: argparse.Namespace,
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """Execute ``repro bench`` for parsed ``args``; returns exit code."""
+    out: TextIO = stdout if stdout is not None else sys.stdout
+    err: TextIO = stderr if stderr is not None else sys.stderr
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "gate": _cmd_gate,
+    }
+    try:
+        return handlers[args.bench_command](args, out)
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=err)
+        return 2

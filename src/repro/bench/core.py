@@ -1,0 +1,441 @@
+"""Benchmark measurement, persistence, comparison, and gating.
+
+This formalises the ad-hoc ``BENCH_engine.json`` emitter into a
+subsystem: a :class:`BenchScenario` pins every input the measurement
+depends on (so two results are comparable exactly when their scenarios
+— and hence event counts — match), :func:`run_bench` measures engine
+throughput (plain / instrumented / legacy-heap loops, best-of-N
+rounds) and optionally full-suite throughput per jobs level, and
+:func:`gate_bench` turns a baseline + candidate pair into a pass/fail
+decision with a relative tolerance for machine variance.
+
+Committed baselines live under ``benchmarks/baselines/``; the CI
+``perf-smoke`` job runs ``repro bench gate`` against them with a
+generous threshold so only real regressions (not runner noise) fail
+the build.  Suite throughput is measured through the worker-telemetry
+layer (``run_suite(worker_perf=True)``), which is what makes
+*events/s-per-core* reportable: the scheduler attributes engine events
+to tasks, and the suite aggregate divides by the jobs level.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import BenchmarkError
+from repro.obs.profiling import perf_seconds
+
+PathLike = Union[str, Path]
+
+BENCH_FORMAT_VERSION = 1
+
+#: Default relative throughput drop treated as a regression.  An
+#: events/s metric below ``(1 - tolerance) x baseline`` fails the gate;
+#: CI passes a larger value to absorb shared-runner variance.
+DEFAULT_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """Every input the engine measurement depends on."""
+
+    num_caches: int = 100
+    network_seed: int = 5
+    num_documents: int = 300
+    requests_per_cache: int = 100
+    workload_seed: int = 9
+    rounds: int = 3
+
+    def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchScenario":
+        known = {f.name for f in dataclasses.fields(cls)}
+        try:
+            return cls(**{k: int(v) for k, v in payload.items() if k in known})
+        except (TypeError, ValueError) as exc:
+            raise BenchmarkError(
+                f"malformed bench scenario: {payload!r}"
+            ) from exc
+
+
+#: The canonical scenario (matches the committed seed baseline's
+#: 10,076-event single-group run on the 100-cache seed-5 network).
+DEFAULT_SCENARIO = BenchScenario()
+
+#: A fast scenario for tests and quick local sanity checks.
+SMALL_SCENARIO = BenchScenario(
+    num_caches=30, num_documents=80, requests_per_cache=30, rounds=1
+)
+
+_SCENARIOS = {"default": DEFAULT_SCENARIO, "small": SMALL_SCENARIO}
+
+
+def scenario_by_name(name: str) -> BenchScenario:
+    """Resolve a named scenario (``default`` or ``small``)."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown bench scenario {name!r}; "
+            f"known: {', '.join(sorted(_SCENARIOS))}"
+        ) from None
+
+
+@dataclass
+class BenchResult:
+    """One benchmark measurement (or a loaded baseline)."""
+
+    label: str
+    scenario: BenchScenario = field(default_factory=BenchScenario)
+    cores: int = 1
+    # Run metadata only — the stamp never feeds back into measurement.
+    created_unix: float = field(default_factory=time.time)  # repro-lint: allow[sim-wallclock]
+    #: events, plain/instrumented/heap events_per_sec
+    engine: Dict[str, float] = field(default_factory=dict)
+    #: per jobs level: wall_s, events, events_per_sec, events_per_sec_per_core
+    suite: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat ``name -> value`` view of every gated throughput metric."""
+        flat = {
+            f"engine.{name}": float(value)
+            for name, value in self.engine.items()
+            if name.endswith("_per_sec")
+        }
+        for level in sorted(self.suite):
+            for name, value in self.suite[level].items():
+                if name.endswith("_per_sec") or name.endswith("_per_core"):
+                    flat[f"suite.{level}.{name}"] = float(value)
+        return flat
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format_version": BENCH_FORMAT_VERSION,
+            "kind": "bench_result",
+            "label": self.label,
+            "created_unix": self.created_unix,
+            "cores": self.cores,
+            "scenario": self.scenario.to_dict(),
+            "engine": dict(self.engine),
+            "suite": {k: dict(v) for k, v in self.suite.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchResult":
+        try:
+            return cls(
+                label=str(payload.get("label", "")),
+                scenario=BenchScenario.from_dict(
+                    payload.get("scenario") or {}
+                ),
+                cores=int(payload.get("cores", 1)),
+                created_unix=float(payload.get("created_unix", 0.0)),
+                engine={
+                    str(k): float(v)
+                    for k, v in (payload.get("engine") or {}).items()
+                },
+                suite={
+                    str(level): {
+                        str(k): float(v) for k, v in stats.items()
+                    }
+                    for level, stats in (payload.get("suite") or {}).items()
+                },
+            )
+        except (TypeError, ValueError) as exc:
+            raise BenchmarkError(
+                f"malformed bench result payload: {exc}"
+            ) from exc
+
+
+def save_bench(result: BenchResult, path: PathLike) -> None:
+    """Write a bench result to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench(path: PathLike) -> BenchResult:
+    """Read a bench result (or a trajectory artifact embedding one).
+
+    Accepts both the native ``bench_result`` format and the CI
+    trajectory artifact (``BENCH_engine.json``), whose ``bench`` key
+    embeds a result — so ``repro bench compare`` works directly on
+    either file.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise BenchmarkError(f"cannot read bench result {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchmarkError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise BenchmarkError(f"{path} is not a bench result")
+    if payload.get("kind") != "bench_result" and "bench" in payload:
+        payload = payload["bench"]
+    if payload.get("kind") != "bench_result":
+        raise BenchmarkError(
+            f"{path} is not a bench result (kind="
+            f"{payload.get('kind')!r})"
+        )
+    version = payload.get("format_version")
+    if version != BENCH_FORMAT_VERSION:
+        raise BenchmarkError(
+            f"{path} has bench format version {version}, "
+            f"expected {BENCH_FORMAT_VERSION}"
+        )
+    return BenchResult.from_dict(payload)
+
+
+# -- measurement --------------------------------------------------------
+
+
+def _best_of(fn: Any, rounds: int) -> float:
+    """Minimum wall seconds over ``rounds`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(max(1, rounds)):
+        start = perf_seconds()
+        fn()
+        best = min(best, perf_seconds() - start)
+    return best
+
+
+def _build_bench_testbed(scenario: BenchScenario) -> Tuple[Any, Any, Any]:
+    from repro.config import DocumentConfig, WorkloadConfig
+    from repro.core.groups import single_group
+    from repro.topology import build_network
+    from repro.workload import generate_workload
+
+    network = build_network(
+        num_caches=scenario.num_caches, seed=scenario.network_seed
+    )
+    workload = generate_workload(
+        network.cache_nodes,
+        WorkloadConfig(
+            documents=DocumentConfig(
+                num_documents=scenario.num_documents
+            ),
+            requests_per_cache=scenario.requests_per_cache,
+        ),
+        seed=scenario.workload_seed,
+    )
+    grouping = single_group(network.cache_nodes)
+    return network, workload, grouping
+
+
+def run_engine_bench(scenario: BenchScenario) -> Dict[str, float]:
+    """Measure event-loop throughput for one scenario.
+
+    Returns ``events`` (loop length — the comparability anchor) and
+    best-of-``rounds`` events/s for the default sorted loop, the fully
+    instrumented loop (trace + sampler), and the legacy heap loop.
+    """
+    from repro.obs import MetricsSampler, Observer, TraceCollector
+    from repro.simulator import simulate
+
+    network, workload, grouping = _build_bench_testbed(scenario)
+
+    counter = Observer()
+    simulate(network, grouping, workload, observer=counter)
+    events = int(counter.run_stats["events"])
+
+    t_plain = _best_of(
+        lambda: simulate(network, grouping, workload), scenario.rounds
+    )
+    t_heap = _best_of(
+        lambda: simulate(
+            network, grouping, workload, event_loop="heap"
+        ),
+        scenario.rounds,
+    )
+    t_instrumented = _best_of(
+        lambda: simulate(
+            network, grouping, workload,
+            observer=Observer(
+                trace=TraceCollector(capacity=10_000),
+                sampler=MetricsSampler(interval_ms=1_000.0),
+            ),
+        ),
+        scenario.rounds,
+    )
+    return {
+        "events": float(events),
+        "plain_events_per_sec": events / t_plain,
+        "instrumented_events_per_sec": events / t_instrumented,
+        "heap_events_per_sec": events / t_heap,
+    }
+
+
+def run_suite_bench(
+    jobs_levels: Sequence[int] = (1, 2),
+    figures: Optional[Sequence[str]] = None,
+    repetitions: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Measure full-suite wall clock and events/s per jobs level.
+
+    Each level runs the suite fresh (testbed cache reset) under worker
+    telemetry, so the aggregate event count comes from the scheduler's
+    per-task accounting; ``events_per_sec_per_core`` divides by the
+    jobs level — the scaling number the ROADMAP's sharded-simulation
+    arc tracks.
+    """
+    from repro.experiments.suite import run_suite
+    from repro.runtime import reset_cache
+
+    levels: Dict[str, Dict[str, float]] = {}
+    for jobs in jobs_levels:
+        reset_cache()
+        start = perf_seconds()
+        run = run_suite(
+            figures=figures, repetitions=repetitions, jobs=jobs,
+            worker_perf=True,
+        )
+        wall_s = perf_seconds() - start
+        manifests = run.manifests.values()
+        events = sum(
+            manifest.run_stats.get("worker_events", 0.0)
+            for manifest in manifests
+        )
+        levels[f"jobs{jobs}"] = {
+            "wall_s": wall_s,
+            "events": events,
+            "events_per_sec": events / wall_s if wall_s else 0.0,
+            "events_per_sec_per_core": (
+                events / wall_s / jobs if wall_s else 0.0
+            ),
+            # Cache effectiveness context (not gated: no _per_sec suffix).
+            "testbed_cache_hits": sum(
+                m.run_stats.get("testbed_cache_hits", 0.0)
+                for m in manifests
+            ),
+            "testbed_cache_misses": sum(
+                m.run_stats.get("testbed_cache_misses", 0.0)
+                for m in manifests
+            ),
+        }
+    reset_cache()
+    return levels
+
+
+def run_bench(
+    scenario: BenchScenario = DEFAULT_SCENARIO,
+    label: str = "local",
+    include_suite: bool = False,
+    suite_jobs: Sequence[int] = (1, 2),
+) -> BenchResult:
+    """Measure one full bench result (engine, optionally suite)."""
+    result = BenchResult(
+        label=label,
+        scenario=scenario,
+        cores=os.cpu_count() or 1,
+        engine=run_engine_bench(scenario),
+    )
+    if include_suite:
+        result.suite = run_suite_bench(jobs_levels=suite_jobs)
+    return result
+
+
+# -- comparison and gating ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchCheck:
+    """One gated metric: baseline vs candidate."""
+
+    name: str
+    baseline: float
+    candidate: float
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline (1.0 = unchanged, < 1 = slower)."""
+        return self.candidate / self.baseline if self.baseline else 0.0
+
+    def regressed(self, tolerance: float) -> bool:
+        return self.ratio < 1.0 - tolerance
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Outcome of gating a candidate against a baseline."""
+
+    baseline_label: str
+    candidate_label: str
+    tolerance: float
+    checks: Tuple[BenchCheck, ...]
+    skipped: Tuple[str, ...] = ()
+
+    @property
+    def regressions(self) -> List[BenchCheck]:
+        return [c for c in self.checks if c.regressed(self.tolerance)]
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.checks) and not self.regressions
+
+
+def compare_bench(
+    baseline: BenchResult, candidate: BenchResult, tolerance: float =
+    DEFAULT_TOLERANCE,
+) -> GateReport:
+    """Compare every throughput metric present in both results.
+
+    Metrics only one side measured are listed as skipped, so a
+    baseline without suite numbers still gates the engine.
+    """
+    base_metrics = baseline.metrics()
+    cand_metrics = candidate.metrics()
+    shared = sorted(set(base_metrics) & set(cand_metrics))
+    skipped = sorted(set(base_metrics) ^ set(cand_metrics))
+    checks = tuple(
+        BenchCheck(
+            name=name,
+            baseline=base_metrics[name],
+            candidate=cand_metrics[name],
+        )
+        for name in shared
+    )
+    return GateReport(
+        baseline_label=baseline.label,
+        candidate_label=candidate.label,
+        tolerance=tolerance,
+        checks=checks,
+        skipped=tuple(skipped),
+    )
+
+
+def gate_bench(
+    baseline: BenchResult,
+    candidate: BenchResult,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateReport:
+    """Gate a candidate against a baseline; raises when incomparable.
+
+    Comparability means the same scenario — anchored by the measured
+    event count, which is a pure function of the scenario inputs.
+    """
+    base_events = baseline.engine.get("events")
+    cand_events = candidate.engine.get("events")
+    if base_events is not None and cand_events is not None \
+            and base_events != cand_events:
+        raise BenchmarkError(
+            f"bench results are not comparable: baseline processed "
+            f"{base_events:.0f} events, candidate {cand_events:.0f} "
+            f"(different scenarios — re-baseline instead of gating)"
+        )
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    report = compare_bench(baseline, candidate, tolerance=tolerance)
+    if not report.checks:
+        raise BenchmarkError(
+            "bench results share no throughput metrics to gate on"
+        )
+    return report

@@ -26,6 +26,20 @@ the first non-deterministic site (see :mod:`repro.sanitize`)::
 
     repro sanitize run --figure fig6 --out ledger.json [--jobs N]
     repro sanitize diff serial.json parallel.json
+
+``repro runs`` queries the run registry — the append-only history that
+``experiment``/``simulate``/``sanitize run`` write to when
+``--registry DIR`` (or ``REPRO_REGISTRY``) is set (see
+:mod:`repro.obs.registry`)::
+
+    repro runs list --registry runs/
+    repro runs compare -2 -1 --registry runs/
+
+``repro bench`` measures and gates throughput against committed
+baselines (see :mod:`repro.bench` and docs/performance.md)::
+
+    repro bench run --out BENCH_engine.json
+    repro bench gate --baseline benchmarks/baselines/BENCH_engine_main.json
 """
 
 from __future__ import annotations
@@ -41,11 +55,13 @@ from repro.analysis.export import (
     export_cache_stats,
     export_experiment_result,
 )
+from repro.bench.cli import configure_parser as configure_bench_parser
 from repro.config import LandmarkConfig, WorkloadConfig, DocumentConfig
 from repro.core.schemes import scheme_by_name
 from repro.errors import ReproError
-from repro.experiments import REGISTRY, run_experiment
+from repro.experiments import REGISTRY
 from repro.lint.cli import configure_parser as configure_lint_parser
+from repro.obs.registry_cli import configure_parser as configure_runs_parser
 from repro.sanitize.cli import configure_parser as configure_sanitize_parser
 from repro.persist import (
     load_grouping,
@@ -145,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", metavar="PATH",
         help="write a run manifest (config, phase timings, time series)",
     )
+    _add_registry_arg(sim)
     _add_formation_fault_args(sim)
     sim.add_argument(
         "--crash", action="append", default=[], metavar="NODE:FAIL[:RECOVER]",
@@ -166,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="pretty-print an archived run manifest"
     )
     rep.add_argument("manifest", help="manifest JSON written by --manifest")
+    rep.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="output_format",
+        help="json emits the full machine-readable manifest payload",
+    )
 
     exp = sub.add_parser(
         "experiment", help="run a registered paper-figure experiment"
@@ -195,6 +217,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist built networks/workloads under DIR "
              "(e.g. results/cache) and reuse them across runs",
     )
+    exp.add_argument(
+        "--worker-perf", action="store_true",
+        help="record per-task worker telemetry (wall, queue wait, cache "
+             "hits, events/s) into each figure's manifest",
+    )
+    exp.add_argument(
+        "--progress", action="store_true",
+        help="print a throttled stderr heartbeat (tasks done/total, ETA, "
+             "aggregate events/s) while a figure's units run",
+    )
+    _add_registry_arg(exp)
 
     lint = sub.add_parser(
         "lint",
@@ -209,6 +242,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configure_sanitize_parser(san)
 
+    runs = sub.add_parser(
+        "runs",
+        help="query the run registry: list/show/compare/gc archived runs "
+             "(repro.obs.registry)",
+    )
+    configure_runs_parser(runs)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure and gate throughput against committed baselines "
+             "(repro.bench)",
+    )
+    configure_bench_parser(bench)
+
     cmp_parser = sub.add_parser(
         "compare", help="diff two archived experiment results (JSON)"
     )
@@ -220,6 +267,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _add_registry_arg(parser: argparse.ArgumentParser) -> None:
+    """The --registry flag shared by simulate/experiment (and sanitize)."""
+    parser.add_argument(
+        "--registry", metavar="DIR",
+        help="append this run's manifest to the run registry at DIR "
+             "(default: $REPRO_REGISTRY; see 'repro runs')",
+    )
+
+
+def _resolve_registry(args: argparse.Namespace):
+    """The RunRegistry requested by --registry/$REPRO_REGISTRY, or None."""
+    from repro.obs.registry import resolve_registry
+
+    return resolve_registry(getattr(args, "registry", None))
 
 
 def _add_formation_fault_args(parser: argparse.ArgumentParser) -> None:
@@ -446,7 +509,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if observer is not None and observer.trace is not None and args.trace:
         count = observer.trace.write_jsonl(args.trace)
         print(f"wrote {count} trace records to {args.trace}")
-    if args.manifest:
+    run_registry = _resolve_registry(args)
+    if args.manifest or run_registry is not None:
         from repro.persist import save_manifest
 
         totals = {
@@ -499,15 +563,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             manifest.run_stats["scheduled_partitions"] = float(
                 len(schedule.partitions)
             )
-        save_manifest(manifest, args.manifest)
-        print(f"wrote manifest to {args.manifest}")
+        if args.manifest:
+            save_manifest(manifest, args.manifest)
+            print(f"wrote manifest to {args.manifest}")
+        if run_registry is not None:
+            appended = run_registry.append(manifest, kind="simulate")
+            print(f"registered run {appended.record.run_id}")
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.persist import load_manifest
+def render_manifest_text(manifest) -> str:
+    """Human-readable report for a run manifest.
 
-    manifest = load_manifest(args.manifest)
+    Shared by ``repro report`` and ``repro runs show``.  Plain run
+    stats, testbed-cache counters, and worker telemetry each get their
+    own section so parallel-run manifests stay scannable.
+    """
+    sections: List[str] = []
     info = Table(["field", "value"])
     info.add_row(["label", manifest.label])
     info.add_row(["version", manifest.version])
@@ -517,22 +589,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
         info.add_row([f"config.{key}", str(manifest.config[key])])
     for key in sorted(manifest.totals):
         info.add_row([key, manifest.totals[key]])
-    for key in sorted(manifest.run_stats):
-        info.add_row([key, manifest.run_stats[key]])
+    plain = {
+        key: value for key, value in manifest.run_stats.items()
+        if not key.startswith(("testbed_cache_", "worker_"))
+    }
+    for key in sorted(plain):
+        info.add_row([key, plain[key]])
     for key in sorted(manifest.trace_info):
         info.add_row([f"trace.{key}", str(manifest.trace_info[key])])
-    print(info.render())
+    sections.append(info.render())
+
+    for prefix, title in (
+        ("testbed_cache_", "testbed cache"),
+        ("worker_", "workers"),
+    ):
+        group = {
+            key: value for key, value in manifest.run_stats.items()
+            if key.startswith(prefix)
+        }
+        if group:
+            table = Table([title, "value"], float_format="{:.4f}")
+            for key in sorted(group):
+                table.add_row([key[len(prefix):], group[key]])
+            sections.append(table.render())
 
     if manifest.phase_timings_s:
-        print()
         phases = Table(["phase", "seconds"], float_format="{:.4f}")
         for name in sorted(manifest.phase_timings_s):
             phases.add_row([name, manifest.phase_timings_s[name]])
-        print(phases.render())
+        sections.append(phases.render())
 
     if manifest.timeseries is not None and len(manifest.timeseries) > 0:
         series = manifest.timeseries
-        print()
         ts = Table(["series", "first", "mean", "last", "max"])
         for name in ("hit_rate", "request_rate_rps", "origin_rate_rps",
                      "mean_latency_ms", "p95_latency_ms",
@@ -542,9 +630,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 name, column[0], float(column.mean()), column[-1],
                 float(column.max()),
             ])
-        print(f"time series: {len(series)} samples, "
-              f"{series.time_ms[0]:.0f}..{series.time_ms[-1]:.0f} ms")
-        print(ts.render())
+        sections.append(
+            f"time series: {len(series)} samples, "
+            f"{series.time_ms[0]:.0f}..{series.time_ms[-1]:.0f} ms\n"
+            + ts.render()
+        )
+    return "\n\n".join(sections)
+
+
+def render_manifest_json(manifest) -> str:
+    """Machine-readable report: the exact archived manifest payload."""
+    import json
+
+    from repro.persist.results import manifest_payload
+
+    def _default(value):
+        if hasattr(value, "tolist"):
+            return value.tolist()
+        return str(value)
+
+    return json.dumps(
+        manifest_payload(manifest), indent=2, sort_keys=True,
+        default=_default,
+    ) + "\n"
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.persist import load_manifest
+
+    manifest = load_manifest(args.manifest)
+    if args.output_format == "json":
+        sys.stdout.write(render_manifest_json(manifest))
+    else:
+        print(render_manifest_text(manifest))
     return 0
 
 
@@ -565,6 +683,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
+            worker_perf=args.worker_perf,
+            progress=args.progress,
+            registry_dir=args.registry,
         )
         for experiment_id in sorted(run.results):
             print(run.results[experiment_id].render())
@@ -572,6 +693,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if run.output_dir is not None:
             print(f"archived to {run.output_dir}")
         return 0
+
+    from repro.experiments.suite import run_figure
 
     kwargs = {}
     if args.paper_scale:
@@ -582,14 +705,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["repetitions"] = args.repetitions
     if args.cache_dir:
         configure_cache(disk_dir=args.cache_dir)
+    run_registry = _resolve_registry(args)
     scheduler = TaskScheduler(args.jobs)
     with scheduler, use_scheduler(scheduler):
         try:
-            result = run_experiment(args.figure, **kwargs)
+            result, manifest = run_figure(
+                args.figure, kwargs, jobs=args.jobs,
+                worker_perf=args.worker_perf, progress=args.progress,
+            )
         except TypeError:
             # e.g. fig3 takes no --repetitions; re-run with basics only.
             kwargs.pop("repetitions", None)
-            result = run_experiment(args.figure, **kwargs)
+            result, manifest = run_figure(
+                args.figure, kwargs, jobs=args.jobs,
+                worker_perf=args.worker_perf, progress=args.progress,
+            )
+    if run_registry is not None:
+        appended = run_registry.append(manifest, kind="experiment")
+        print(f"registered run {appended.record.run_id}")
     print(result.render())
     if args.plot:
         print()
@@ -615,6 +748,18 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return run_sanitize(args)
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.registry_cli import run_runs
+
+    return run_runs(args)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.cli import run_bench_cli
+
+    return run_bench_cli(args)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import compare_results
     from repro.persist import load_result
@@ -634,6 +779,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
+    "runs": _cmd_runs,
+    "bench": _cmd_bench,
     "compare": _cmd_compare,
 }
 

@@ -79,3 +79,13 @@ class SimulationError(ReproError):
 class SchemeError(ReproError):
     """A group-formation scheme was mis-invoked (e.g. clustering before
     landmarks were selected)."""
+
+
+class RegistryError(ReproError):
+    """The run registry is missing, corrupt, or a run reference did not
+    resolve (see :mod:`repro.obs.registry`)."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark result could not be read, or two results are not
+    comparable (see :mod:`repro.bench`)."""

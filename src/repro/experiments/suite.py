@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from repro.analysis.export import export_experiment_result
 from repro.analysis.report import ExperimentResult
@@ -28,7 +28,7 @@ from repro.runtime.cache import (
     get_cache,
     stats_delta,
 )
-from repro.runtime.scheduler import TaskScheduler, use_scheduler
+from repro.runtime.scheduler import TaskScheduler, set_perf_hook, use_scheduler
 
 PathLike = Union[str, Path]
 
@@ -60,6 +60,74 @@ class SuiteRun:
         return "\n".join(lines)
 
 
+def _figure_kwargs(
+    experiment_id: str,
+    paper_scale: bool,
+    repetitions: Optional[int],
+    seed: Optional[int],
+) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {}
+    if paper_scale:
+        kwargs["paper_scale"] = True
+    if seed is not None:
+        kwargs["seed"] = seed
+    if repetitions is not None and experiment_id in _SUPPORTS_REPETITIONS:
+        kwargs["repetitions"] = repetitions
+    return kwargs
+
+
+def run_figure(
+    experiment_id: str,
+    kwargs: Dict[str, Any],
+    jobs: int = 1,
+    worker_perf: bool = False,
+    progress: bool = False,
+) -> Tuple[ExperimentResult, RunManifest]:
+    """Run one registered figure under full manifest instrumentation.
+
+    The caller owns scheduler/cache setup (``use_scheduler`` must
+    already be active for ``jobs`` to matter here — ``jobs`` is only
+    recorded).  Returns the figure's result plus a manifest carrying
+    phase timings, testbed-cache counters, and — when ``worker_perf``
+    or ``progress`` is set — the scheduler's ``worker_*`` summary.
+    The telemetry module is imported only when actually enabled, so
+    plain runs never load it.
+    """
+    collector = None
+    if worker_perf or progress:
+        from repro.runtime.telemetry import PerfCollector, ProgressReporter
+
+        reporter = (
+            ProgressReporter(label=experiment_id) if progress else None
+        )
+        collector = PerfCollector(
+            jobs=jobs, label=experiment_id, progress=reporter
+        )
+    cache = get_cache()
+    registry = PhaseRegistry()
+    cache_before = cache.stats()
+    previous_hook = set_perf_hook(collector) if collector is not None else None
+    try:
+        with activate(registry), registry.time(experiment_id):
+            result = REGISTRY[experiment_id](**kwargs)
+    finally:
+        if collector is not None:
+            set_perf_hook(previous_hook)
+    cache_stats = stats_delta(cache_before, cache.stats())
+    manifest = build_manifest(
+        label=experiment_id, seed=kwargs.get("seed"), registry=registry
+    )
+    manifest.config = {k: v for k, v in kwargs.items()}
+    manifest.config["jobs"] = jobs
+    manifest.run_stats.update({
+        f"testbed_cache_{name}": float(cache_stats.get(name, 0))
+        for name in STAT_FIELDS
+    })
+    if collector is not None:
+        manifest.run_stats.update(collector.summary())
+    return result, manifest
+
+
 def run_suite(
     figures: Optional[Sequence[str]] = None,
     output_dir: Optional[PathLike] = None,
@@ -68,6 +136,9 @@ def run_suite(
     seed: Optional[int] = None,
     jobs: int = 1,
     cache_dir: Optional[PathLike] = None,
+    worker_perf: bool = False,
+    progress: bool = False,
+    registry_dir: Optional[PathLike] = None,
 ) -> SuiteRun:
     """Run the selected figures (default: all) and archive results.
 
@@ -79,6 +150,14 @@ def run_suite(
     bit-identical to ``jobs=1``.  ``cache_dir`` enables the on-disk
     testbed cache (``results/cache/`` by convention), persisting built
     networks/workloads across runs and worker processes.
+
+    ``worker_perf`` records per-task worker telemetry (wall, queue
+    wait, cache hits, events/s) into each figure's manifest as a
+    ``worker_*`` summary; ``progress`` adds a stderr heartbeat for long
+    sweeps.  ``registry_dir`` appends every figure's manifest to the
+    run registry at that root (see :mod:`repro.obs.registry`).  All
+    three leave the archived results byte-identical — they only add
+    observability around the same computation.
     """
     selected = list(figures) if figures is not None else sorted(REGISTRY)
     unknown = [f for f in selected if f not in REGISTRY]
@@ -95,37 +174,29 @@ def run_suite(
 
     if cache_dir is not None:
         configure_cache(disk_dir=cache_dir)
-    cache = get_cache()
+
+    run_registry = None
+    if registry_dir is not None:
+        from repro.obs.registry import RunRegistry
+
+        run_registry = RunRegistry(registry_dir)
 
     results: Dict[str, ExperimentResult] = {}
     manifests: Dict[str, RunManifest] = {}
     scheduler = TaskScheduler(jobs)
     with scheduler, use_scheduler(scheduler):
         for experiment_id in selected:
-            kwargs = {}
-            if paper_scale:
-                kwargs["paper_scale"] = True
-            if seed is not None:
-                kwargs["seed"] = seed
-            if (repetitions is not None
-                    and experiment_id in _SUPPORTS_REPETITIONS):
-                kwargs["repetitions"] = repetitions
-            registry = PhaseRegistry()
-            cache_before = cache.stats()
-            with activate(registry), registry.time(experiment_id):
-                result = REGISTRY[experiment_id](**kwargs)
-            cache_stats = stats_delta(cache_before, cache.stats())
-            results[experiment_id] = result
-            manifest = build_manifest(
-                label=experiment_id, seed=seed, registry=registry
+            kwargs = _figure_kwargs(
+                experiment_id, paper_scale, repetitions, seed
             )
-            manifest.config = {k: v for k, v in kwargs.items()}
-            manifest.config["jobs"] = jobs
-            manifest.run_stats.update({
-                f"testbed_cache_{name}": float(cache_stats.get(name, 0))
-                for name in STAT_FIELDS
-            })
+            result, manifest = run_figure(
+                experiment_id, kwargs, jobs=jobs,
+                worker_perf=worker_perf, progress=progress,
+            )
+            results[experiment_id] = result
             manifests[experiment_id] = manifest
+            if run_registry is not None:
+                run_registry.append(manifest, kind="experiment")
             if out_path is not None:
                 save_result(result, out_path / f"{experiment_id}.json")
                 export_experiment_result(

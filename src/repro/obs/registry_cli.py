@@ -1,0 +1,271 @@
+"""The ``repro runs`` subcommands over the run registry.
+
+::
+
+    repro runs list    [--registry DIR] [--kind K] [--label SUBSTR]
+    repro runs show    RUN [--registry DIR] [--format json]
+    repro runs compare RUN_A RUN_B [--registry DIR] [--format json]
+    repro runs gc      --keep N [--registry DIR]
+
+``RUN`` references are run-id prefixes (≥ 4 hex chars) or negative
+ordinals — ``-1`` is the newest run, ``-2`` the one before — so the
+canonical "did anything move?" check after two runs is simply::
+
+    repro runs compare -2 -1
+
+The registry root comes from ``--registry`` or the ``REPRO_REGISTRY``
+environment variable.  Exit codes: ``0`` success, ``1`` a compared
+metric differs beyond ``--tolerance`` (compare only), ``2`` usage
+error (no registry, unresolvable reference, corrupt index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, TextIO
+
+from repro.errors import RegistryError
+from repro.obs.registry import RunDiff, RunRegistry, resolve_registry
+from repro.utils.tables import Table
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``runs`` subcommands to a (sub)parser."""
+    sub = parser.add_subparsers(dest="runs_command", required=True)
+
+    def add_registry_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--registry", metavar="DIR",
+            help="registry root (default: $REPRO_REGISTRY)",
+        )
+
+    lst = sub.add_parser("list", help="list archived runs, oldest first")
+    add_registry_arg(lst)
+    lst.add_argument("--kind", help="only runs of this kind")
+    lst.add_argument("--label", help="only labels containing this substring")
+    lst.add_argument("--limit", type=int, metavar="N",
+                     help="show only the newest N matching runs")
+    lst.add_argument("--format", choices=["text", "json"], default="text",
+                     dest="output_format")
+
+    show = sub.add_parser("show", help="pretty-print one archived run")
+    add_registry_arg(show)
+    show.add_argument("run", help="run-id prefix or negative ordinal (-1)")
+    show.add_argument("--format", choices=["text", "json"], default="text",
+                      dest="output_format")
+
+    cmp_ = sub.add_parser(
+        "compare",
+        help="diff two archived runs' metrics/counters/timings/config",
+    )
+    add_registry_arg(cmp_)
+    cmp_.add_argument("run_a", help="baseline run (prefix or ordinal)")
+    cmp_.add_argument("run_b", help="candidate run (prefix or ordinal)")
+    cmp_.add_argument("--format", choices=["text", "json"], default="text",
+                      dest="output_format")
+    cmp_.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="F",
+        help="exit 1 when any metric moves by more than this relative "
+             "fraction (default 0: exit 1 on any numeric change)",
+    )
+
+    gc = sub.add_parser(
+        "gc", help="keep the newest N runs, drop older records + archives"
+    )
+    add_registry_arg(gc)
+    gc.add_argument("--keep", type=int, required=True, metavar="N")
+
+
+def _require_registry(
+    args: argparse.Namespace, err: TextIO
+) -> Optional[RunRegistry]:
+    registry = resolve_registry(getattr(args, "registry", None))
+    if registry is None:
+        print(
+            "error: no registry given (pass --registry DIR or set "
+            "REPRO_REGISTRY)", file=err,
+        )
+    return registry
+
+
+def _list(args: argparse.Namespace, registry: RunRegistry,
+          out: TextIO) -> int:
+    records = registry.records()
+    if args.kind:
+        records = [r for r in records if r.kind == args.kind]
+    if args.label:
+        records = [r for r in records if args.label in r.label]
+    if args.limit is not None and args.limit >= 0:
+        records = records[len(records) - args.limit:]
+    if args.output_format == "json":
+        payload = [
+            {
+                "run_id": r.run_id,
+                "kind": r.kind,
+                "label": r.label,
+                "created_unix": r.created_unix,
+                "seed": r.seed,
+                "summary": r.summary,
+            }
+            for r in records
+        ]
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return 0
+    if not records:
+        print("registry holds no matching runs", file=out)
+        return 0
+    table = Table(["run_id", "kind", "label", "seed", "headline"])
+    for record in records:
+        headline = ""
+        preferred = ("events_per_sec", "avg_latency_ms", "requests",
+                     "worker_events_per_sec", "worker_utilization",
+                     "testbed_cache_hits", "draws")
+        present = [key for key in preferred if key in record.summary]
+        # Prefer the first metric that actually measured something.
+        for key in [*[k for k in present if record.summary[k]], *present]:
+            headline = f"{key}={record.summary[key]:.6g}"
+            break
+        table.add_row([
+            record.run_id, record.kind, record.label,
+            "-" if record.seed is None else record.seed, headline,
+        ])
+    print(table.render(), file=out)
+    print(f"{len(records)} run(s) at {registry.root}", file=out)
+    return 0
+
+
+def _show(args: argparse.Namespace, registry: RunRegistry,
+          out: TextIO) -> int:
+    record, manifest = registry.load_manifest(args.run)
+    if args.output_format == "json":
+        from repro.persist.results import manifest_payload
+
+        payload = manifest_payload(manifest)
+        payload["run_id"] = record.run_id
+        payload["registry_kind"] = record.kind
+        out.write(json.dumps(payload, indent=2, sort_keys=True,
+                             default=_json_plain) + "\n")
+        return 0
+    from repro.cli import render_manifest_text
+
+    print(f"run {record.run_id} ({record.kind})", file=out)
+    print(render_manifest_text(manifest), file=out)
+    return 0
+
+
+def _json_plain(value: object) -> object:
+    for attr in ("item", "tolist"):
+        converter = getattr(value, attr, None)
+        if callable(converter):
+            return converter()
+    raise TypeError(f"not JSON-serialisable: {type(value).__name__}")
+
+
+def render_diff_text(diff: RunDiff) -> str:
+    """Human-readable run diff (changed metrics + config changes)."""
+    lines = [
+        f"comparing {diff.record_a.run_id} ({diff.record_a.label}) -> "
+        f"{diff.record_b.run_id} ({diff.record_b.label})"
+    ]
+    changed = diff.changed_metrics()
+    if changed:
+        table = Table(["metric", "a", "b", "delta", "rel"])
+        for metric in changed:
+            rel = metric.relative
+            table.add_row([
+                metric.name,
+                "-" if metric.value_a is None else f"{metric.value_a:.6g}",
+                "-" if metric.value_b is None else f"{metric.value_b:.6g}",
+                "-" if metric.delta is None else f"{metric.delta:+.6g}",
+                "-" if rel is None else f"{100.0 * rel:+.2f}%",
+            ])
+        lines.append(table.render())
+    else:
+        lines.append("metrics: identical")
+    if diff.config_changes:
+        lines.append("config changes:")
+        for key, left, right in diff.config_changes:
+            lines.append(f"  {key}: {left!r} -> {right!r}")
+    else:
+        lines.append("config: identical")
+    return "\n".join(lines)
+
+
+def render_diff_json(diff: RunDiff) -> str:
+    """Machine-readable run diff."""
+    payload = {
+        "run_a": diff.record_a.run_id,
+        "run_b": diff.record_b.run_id,
+        "label_a": diff.record_a.label,
+        "label_b": diff.record_b.label,
+        "metrics": [
+            {
+                "name": m.name,
+                "a": m.value_a,
+                "b": m.value_b,
+                "delta": m.delta,
+                "relative": m.relative,
+            }
+            for m in (*diff.totals, *diff.run_stats)
+        ],
+        "phase_timings": [
+            {"name": m.name, "a": m.value_a, "b": m.value_b}
+            for m in diff.phase_timings
+        ],
+        "config_changes": [
+            {"key": key, "a": left, "b": right}
+            for key, left, right in diff.config_changes
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _compare(args: argparse.Namespace, registry: RunRegistry,
+             out: TextIO) -> int:
+    diff = registry.compare(args.run_a, args.run_b)
+    if args.output_format == "json":
+        out.write(render_diff_json(diff))
+    else:
+        print(render_diff_text(diff), file=out)
+    for metric in diff.changed_metrics():
+        rel = metric.relative
+        if rel is None or abs(rel) > args.tolerance:
+            return 1
+    return 0
+
+
+def _gc(args: argparse.Namespace, registry: RunRegistry, out: TextIO) -> int:
+    result = registry.gc(keep_last=args.keep)
+    print(
+        f"kept {result.kept_records} run(s), dropped "
+        f"{result.dropped_records} record(s), deleted "
+        f"{result.deleted_manifests} archived manifest(s)",
+        file=out,
+    )
+    return 0
+
+
+def run_runs(
+    args: argparse.Namespace,
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """Execute ``repro runs`` for parsed ``args``; returns exit code."""
+    out: TextIO = stdout if stdout is not None else sys.stdout
+    err: TextIO = stderr if stderr is not None else sys.stderr
+    registry = _require_registry(args, err)
+    if registry is None:
+        return 2
+    handlers = {
+        "list": _list,
+        "show": _show,
+        "compare": _compare,
+        "gc": _gc,
+    }
+    try:
+        return handlers[args.runs_command](args, registry, out)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=err)
+        return 2

@@ -67,13 +67,23 @@ def load_result(path: PathLike) -> ExperimentResult:
         raise ReproError(f"{path}: malformed result payload") from exc
 
 
-def save_manifest(manifest: RunManifest, path: PathLike) -> None:
-    """Write a run manifest to ``path`` as JSON."""
-    payload = {
+def manifest_payload(manifest: RunManifest) -> dict:
+    """The versioned JSON payload a manifest is persisted as.
+
+    Shared by :func:`save_manifest`, the run registry's archived
+    manifests, and ``repro report --format json`` so every machine-
+    readable view of a run has one shape.
+    """
+    return {
         "format_version": _MANIFEST_FORMAT_VERSION,
         "kind": "run_manifest",
         **manifest.to_dict(),
     }
+
+
+def save_manifest(manifest: RunManifest, path: PathLike) -> None:
+    """Write a run manifest to ``path`` as JSON."""
+    payload = manifest_payload(manifest)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")

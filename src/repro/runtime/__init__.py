@@ -28,8 +28,15 @@ from repro.runtime.scheduler import (
     TaskScheduler,
     active_scheduler,
     map_tasks,
+    perf_hook,
+    set_perf_hook,
     use_scheduler,
 )
+
+# repro.runtime.telemetry (PerfCollector/ProgressReporter) is NOT
+# re-exported here on purpose: this package sits on the experiment hot
+# path, and disabled telemetry must cost zero imports.  Callers that
+# enable --worker-perf/--progress import it lazily.
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -41,7 +48,9 @@ __all__ = [
     "get_cache",
     "map_tasks",
     "network_key",
+    "perf_hook",
     "reset_cache",
+    "set_perf_hook",
     "stats_delta",
     "testbed_key",
     "use_scheduler",

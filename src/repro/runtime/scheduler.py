@@ -30,18 +30,20 @@ workers start cold and lean on the shared disk cache instead.
 from __future__ import annotations
 
 import multiprocessing
+import sys
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.obs.profiling import PhaseRegistry, activate, current_registry
+from repro.obs.profiling import PhaseRegistry, activate, current_registry, perf_seconds
 from repro.runtime.cache import get_cache, stats_delta
 
 #: A task's remote outcome: (value, phase totals, cache counter delta,
-#: draw-ledger segment or None).
+#: draw-ledger segment or None, perf record or None).
 TaskOutcome = Tuple[
-    Any, Dict[str, float], Dict[str, int], Optional[Dict[str, Any]]
+    Any, Dict[str, float], Dict[str, int], Optional[Dict[str, Any]],
+    Optional[Dict[str, float]],
 ]
 
 #: The draw-ledger hook installed by ``repro.sanitize`` (duck-typed:
@@ -67,16 +69,66 @@ def task_ledger() -> Optional[Any]:
     return _TASK_LEDGER
 
 
-def run_task(payload: Tuple[Callable[[Any], Any], Any]) -> TaskOutcome:
+#: The worker-perf hook installed by ``run_suite``/the CLI (duck-typed:
+#: ``on_map_begin(total)``, ``record_task(index, perf, cache_delta)``,
+#: ``on_map_end(elapsed_s)`` — see ``repro.runtime.telemetry``).  None
+#: costs one global read per map; the scheduler never imports the
+#: telemetry module.
+_PERF_HOOK: Optional[Any] = None
+
+
+def set_perf_hook(hook: Optional[Any]) -> Optional[Any]:
+    """Install (or clear, with None) the worker-perf telemetry hook.
+
+    Returns the previously-installed hook so callers can restore it.
+    """
+    global _PERF_HOOK
+    previous = _PERF_HOOK
+    _PERF_HOOK = hook
+    return previous
+
+
+def perf_hook() -> Optional[Any]:
+    """The currently-installed worker-perf hook, if any."""
+    return _PERF_HOOK
+
+
+def _events_total() -> int:
+    """The engine's cumulative event counter, without importing it.
+
+    The scheduler must not pull the simulator in (layering, and tasks
+    that never simulate should not pay the import); reading the counter
+    through ``sys.modules`` observes it exactly when the task actually
+    ran the engine.
+    """
+    module = sys.modules.get("repro.simulator.engine")
+    if module is None:
+        return 0
+    return int(module.events_total())
+
+
+def run_task(
+    payload: Tuple[Callable[[Any], Any], Any, Optional[float]]
+) -> TaskOutcome:
     """Execute one task in a worker, capturing its observability.
 
     Module-level so it is picklable by every start method.  The task
     runs under a private :class:`PhaseRegistry`; its phase totals, the
-    worker cache's counter delta, and (when a sanitizer is active) its
-    draw-ledger segment ride back with the value.
+    worker cache's counter delta, (when a sanitizer is active) its
+    draw-ledger segment, and (when perf telemetry is on) its wall /
+    queue-wait / event measurements ride back with the value.
+
+    ``submitted_at`` is the parent's :func:`perf_seconds` stamp at
+    submission, or None when telemetry is off — ``perf_counter`` is
+    CLOCK_MONOTONIC on Linux, shared across forked processes, so the
+    worker-side difference is a genuine queue wait.
     """
-    fn, arg = payload
+    fn, arg, submitted_at = payload
     cache_before = get_cache().stats()
+    perf: Optional[Dict[str, float]] = None
+    if submitted_at is not None:
+        started = perf_seconds()
+        events_before = _events_total()
     registry = PhaseRegistry()
     hook = _TASK_LEDGER
     ledger_segment: Optional[Dict[str, Any]] = None
@@ -88,11 +140,17 @@ def run_task(payload: Tuple[Callable[[Any], Any], Any]) -> TaskOutcome:
             value = fn(arg)
         ledger_segment = box.payload
     delta = stats_delta(cache_before, get_cache().stats())
-    return value, registry.total_seconds(), delta, ledger_segment
+    if submitted_at is not None:
+        perf = {
+            "wall_s": perf_seconds() - started,
+            "queue_wait_s": max(0.0, started - submitted_at),
+            "events": float(_events_total() - events_before),
+        }
+    return value, registry.total_seconds(), delta, ledger_segment, perf
 
 
 def _map_inline(fn: Callable[[Any], Any], args: Sequence[Any]) -> List[Any]:
-    """Serial map, honouring the draw-ledger hook like a pool would.
+    """Serial map, honouring the ledger/perf hooks like a pool would.
 
     Capturing each unit as its own segment (instead of recording
     straight into the parent ledger) keeps phase attribution identical
@@ -100,13 +158,37 @@ def _map_inline(fn: Callable[[Any], Any], args: Sequence[Any]) -> List[Any]:
     ``task`` phase and fold segments back in task order.
     """
     hook = _TASK_LEDGER
-    if hook is None:
+    perf = _PERF_HOOK
+    if hook is None and perf is None:
         return [fn(arg) for arg in args]
+    items = list(args)
+    if perf is not None:
+        perf.on_map_begin(len(items))
+        map_started = perf_seconds()
     values: List[Any] = []
-    for arg in args:
-        with hook.capture() as box:
+    for index, arg in enumerate(items):
+        if perf is not None:
+            cache_before = get_cache().stats()
+            started = perf_seconds()
+            events_before = _events_total()
+        if hook is None:
             values.append(fn(arg))
-        hook.absorb(box.payload)
+        else:
+            with hook.capture() as box:
+                values.append(fn(arg))
+            hook.absorb(box.payload)
+        if perf is not None:
+            perf.record_task(
+                index,
+                {
+                    "wall_s": perf_seconds() - started,
+                    "queue_wait_s": 0.0,
+                    "events": float(_events_total() - events_before),
+                },
+                stats_delta(cache_before, get_cache().stats()),
+            )
+    if perf is not None:
+        perf.on_map_end(perf_seconds() - map_started)
     return values
 
 
@@ -154,15 +236,28 @@ class TaskScheduler:
         if self._jobs == 1 or len(items) <= 1:
             return _map_inline(fn, items)
 
-        outcomes = list(
-            self._pool().map(run_task, [(fn, arg) for arg in items])
+        perf = _PERF_HOOK
+        if perf is not None:
+            perf.on_map_begin(len(items))
+            map_started = perf_seconds()
+            submitted_at: Optional[float] = perf_seconds()
+        else:
+            submitted_at = None
+        outcomes = self._pool().map(
+            run_task, [(fn, arg, submitted_at) for arg in items]
         )
         registry = current_registry()
         prefix = registry.current_path() if registry is not None else ""
         cache = get_cache()
         hook = _TASK_LEDGER
         values: List[Any] = []
-        for value, phase_totals, cache_delta, ledger_segment in outcomes:
+        # Consuming the map iterator lazily lets the perf hook observe
+        # (and report progress on) completions as they stream back, in
+        # task order.
+        for index, outcome in enumerate(outcomes):
+            value, phase_totals, cache_delta, ledger_segment, task_perf = (
+                outcome
+            )
             if registry is not None and phase_totals:
                 registry.merge_totals(phase_totals, prefix=prefix)
             if cache_delta:
@@ -171,7 +266,11 @@ class TaskScheduler:
                 # Task order == serial order, so folding segments here
                 # reproduces the serial ledger bit for bit.
                 hook.absorb(ledger_segment)
+            if perf is not None and task_perf is not None:
+                perf.record_task(index, task_perf, cache_delta)
             values.append(value)
+        if perf is not None:
+            perf.on_map_end(perf_seconds() - map_started)
         return values
 
     def shutdown(self) -> None:

@@ -53,6 +53,11 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="persist built testbeds under DIR (shared with "
              "'repro experiment')",
     )
+    run.add_argument(
+        "--registry", metavar="DIR",
+        help="append a summary manifest for this sanitized run to the "
+             "run registry at DIR (default: $REPRO_REGISTRY)",
+    )
 
     diff = sub.add_parser(
         "diff", help="compare two ledgers; exit 1 on any divergence"
@@ -108,7 +113,32 @@ def _run(args: argparse.Namespace, out: TextIO) -> int:
         f"across {sites} sites in {len(state.ledger.phases)} phase(s)",
         file=out,
     )
+    _maybe_register(args, state, sites)
     return 0
+
+
+def _maybe_register(args: argparse.Namespace, state, sites: int) -> None:
+    """Append a summary manifest when a run registry is configured."""
+    from repro.obs.registry import resolve_registry
+
+    registry = resolve_registry(args.registry)
+    if registry is None:
+        return
+    from repro.obs.manifest import RunManifest
+
+    manifest = RunManifest(label=f"sanitize:{args.figure}", seed=args.seed)
+    manifest.config = {
+        "figure": args.figure,
+        "jobs": args.jobs,
+        "repetitions": args.repetitions,
+        "paper_scale": bool(args.paper_scale),
+    }
+    manifest.run_stats = {
+        "draws": float(state.ledger.total_draws()),
+        "sites": float(sites),
+        "phases": float(len(state.ledger.phases)),
+    }
+    registry.append(manifest, kind="sanitize")
 
 
 def _diff(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:

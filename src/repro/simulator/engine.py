@@ -37,6 +37,21 @@ from repro.topology.network import EdgeCacheNetwork
 from repro.types import NodeId
 from repro.workload.ibm_synthetic import Workload
 
+#: Cumulative events processed by every engine run in this process.
+#: Updated once per completed run (never inside the hot loop), it lets
+#: the scheduler's worker telemetry attribute events/s to each task
+#: without attaching an observer — see repro.runtime.telemetry.
+_EVENTS_TOTAL = 0
+
+
+def events_total() -> int:
+    """Cumulative events processed by this process's engines.
+
+    Telemetry only: deltas of this counter around a work unit give the
+    unit's event count; the value never feeds back into simulation.
+    """
+    return _EVENTS_TOTAL
+
 
 class SimulationEngine:
     """One simulation run over a fixed network, grouping, and workload."""
@@ -250,6 +265,8 @@ class SimulationEngine:
             handler(event)
         if sampler is not None:
             sampler.finalize(now, **self._sample_gauges(now))
+        global _EVENTS_TOTAL
+        _EVENTS_TOTAL += events_processed
         if self._observer is not NULL_OBSERVER:
             # Any caller-supplied observer gets throughput numbers, even
             # one with no per-request instruments (manifest-only runs).

@@ -1,0 +1,195 @@
+"""The run registry: content addressing, concurrency, queries, gc."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.obs.manifest import RunManifest
+from repro.obs.registry import (
+    RunRecord,
+    RunRegistry,
+    manifest_run_id,
+    resolve_registry,
+)
+
+
+def _manifest(label="fig6", seed=7, stamp=1_000.0, **stats) -> RunManifest:
+    manifest = RunManifest(label=label, seed=seed)
+    manifest.created_unix = stamp
+    manifest.totals = {"requests": 100.0, "avg_latency_ms": 50.0}
+    manifest.run_stats = {str(k): float(v) for k, v in stats.items()}
+    manifest.config = {"jobs": 1, "repetitions": 2}
+    return manifest
+
+
+class TestContentAddressing:
+    def test_run_id_is_stable_across_instances(self):
+        assert manifest_run_id(_manifest()) == manifest_run_id(_manifest())
+
+    def test_run_id_changes_with_content(self):
+        assert manifest_run_id(_manifest(stamp=1.0)) != manifest_run_id(
+            _manifest(stamp=2.0)
+        )
+
+    def test_duplicate_append_does_not_grow_the_store(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        first = registry.append(_manifest())
+        second = registry.append(_manifest())
+        assert not first.duplicate
+        assert second.duplicate
+        assert second.record.run_id == first.record.run_id
+        assert len(registry.records()) == 1
+
+
+class TestAppendAndQuery:
+    def test_archived_manifest_round_trips(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        appended = registry.append(_manifest(testbed_cache_hits=3))
+        record, loaded = registry.load_manifest(appended.record.run_id)
+        assert record.run_id == appended.record.run_id
+        assert loaded.label == "fig6"
+        assert loaded.totals["requests"] == 100.0
+        assert loaded.run_stats["testbed_cache_hits"] == 3.0
+
+    def test_records_keep_append_order(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        for stamp in (1.0, 2.0, 3.0):
+            registry.append(_manifest(stamp=stamp))
+        stamps = [r.created_unix for r in registry.records()]
+        assert stamps == [1.0, 2.0, 3.0]
+
+    def test_find_by_prefix_and_ordinal(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        first = registry.append(_manifest(stamp=1.0)).record
+        second = registry.append(_manifest(stamp=2.0)).record
+        assert registry.find(first.run_id[:6]).run_id == first.run_id
+        assert registry.find("-1").run_id == second.run_id
+        assert registry.find("-2").run_id == first.run_id
+
+    def test_find_rejects_bad_references(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.append(_manifest())
+        with pytest.raises(RegistryError, match="too short"):
+            registry.find("ab")
+        with pytest.raises(RegistryError, match="no run matches"):
+            registry.find("ffffffffffff")
+        with pytest.raises(RegistryError, match="out of range"):
+            registry.find("-5")
+
+    def test_empty_registry_raises(self, tmp_path):
+        with pytest.raises(RegistryError, match="holds no runs"):
+            RunRegistry(tmp_path).find("-1")
+
+    def test_corrupt_index_line_raises(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.append(_manifest())
+        with open(registry.index_path, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(RegistryError, match="corrupt"):
+            registry.records()
+
+    def test_summary_carries_headline_metrics(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        record = registry.append(
+            _manifest(worker_utilization=0.9, irrelevant=1.0)
+        ).record
+        assert record.summary["requests"] == 100.0
+        assert record.summary["worker_utilization"] == 0.9
+        assert "irrelevant" not in record.summary
+
+    def test_index_line_round_trips(self):
+        record = RunRecord(
+            run_id="abcd1234ef56", kind="experiment", label="fig8",
+            created_unix=12.5, seed=3, summary={"requests": 10.0},
+        )
+        assert RunRecord.from_line(record.to_line()) == record
+
+
+class TestCompare:
+    def test_compare_reports_changed_metrics_and_config(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        a = _manifest(stamp=1.0, hits=5)
+        b = _manifest(stamp=2.0, hits=8)
+        b.totals["avg_latency_ms"] = 60.0
+        b.config["jobs"] = 4
+        ra = registry.append(a).record
+        rb = registry.append(b).record
+        diff = registry.compare(ra.run_id, rb.run_id)
+        changed = {m.name: m for m in diff.changed_metrics()}
+        assert changed["avg_latency_ms"].delta == pytest.approx(10.0)
+        assert changed["avg_latency_ms"].relative == pytest.approx(0.2)
+        assert changed["hits"].value_b == 8.0
+        assert ("jobs", 1, 4) in diff.config_changes
+
+    def test_identical_runs_have_no_changes(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        run_id = registry.append(_manifest()).record.run_id
+        diff = registry.compare(run_id, run_id)
+        assert diff.changed_metrics() == []
+        assert diff.config_changes == ()
+
+
+class TestGc:
+    def test_gc_keeps_newest_and_deletes_archives(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        ids = [
+            registry.append(_manifest(stamp=float(i))).record.run_id
+            for i in range(4)
+        ]
+        result = registry.gc(keep_last=2)
+        assert result.kept_records == 2
+        assert result.dropped_records == 2
+        assert result.deleted_manifests == 2
+        kept = [r.run_id for r in registry.records()]
+        assert kept == ids[2:]
+        assert not registry.manifest_path(ids[0]).exists()
+        assert registry.manifest_path(ids[3]).exists()
+
+
+def _append_worker(args):
+    root, worker, count = args
+    registry = RunRegistry(root)
+    for i in range(count):
+        registry.append(_manifest(stamp=float(worker * 1000 + i)))
+    return worker
+
+
+class TestConcurrency:
+    def test_parallel_appends_never_tear_index_lines(self, tmp_path):
+        workers, per_worker = 4, 8
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(workers) as pool:
+            pool.map(
+                _append_worker,
+                [(str(tmp_path), w, per_worker) for w in range(workers)],
+            )
+        records = RunRegistry(tmp_path).records()
+        assert len(records) == workers * per_worker
+        # Every line must be complete JSON with a resolvable archive.
+        with open(tmp_path / "index.jsonl", encoding="utf-8") as handle:
+            for line in handle:
+                payload = json.loads(line)
+                archive = tmp_path / "manifests" / f"{payload['run_id']}.json"
+                assert archive.exists()
+
+
+class TestResolve:
+    def test_explicit_root_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REGISTRY", str(tmp_path / "env"))
+        registry = resolve_registry(str(tmp_path / "cli"))
+        assert registry is not None
+        assert registry.root == tmp_path / "cli"
+
+    def test_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REGISTRY", str(tmp_path / "env"))
+        registry = resolve_registry(None)
+        assert registry is not None
+        assert registry.root == tmp_path / "env"
+
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REGISTRY", raising=False)
+        assert resolve_registry(None) is None

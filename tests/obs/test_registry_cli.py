@@ -1,0 +1,137 @@
+"""CLI surface of the run registry and the JSON report format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def no_env_registry(monkeypatch):
+    monkeypatch.delenv("REPRO_REGISTRY", raising=False)
+
+
+@pytest.fixture
+def network_file(tmp_path):
+    path = tmp_path / "net.npz"
+    assert main(
+        ["network", "--caches", "15", "--seed", "3", "--out", str(path)]
+    ) == 0
+    return path
+
+
+@pytest.fixture
+def populated_registry(tmp_path, network_file):
+    """A registry holding two simulate runs with different workloads."""
+    registry = tmp_path / "runs"
+    for requests in ("20", "30"):
+        assert main([
+            "simulate", "--network", str(network_file), "--seed", "3",
+            "--requests-per-cache", requests, "--documents", "40",
+            "--registry", str(registry),
+        ]) == 0
+    return registry
+
+
+class TestRunsCli:
+    def test_list_shows_both_runs(self, capsys, populated_registry):
+        assert main(["runs", "list", "--registry",
+                     str(populated_registry)]) == 0
+        out = capsys.readouterr().out
+        assert "simulate:SDSL" in out
+        assert "2 run(s)" in out
+        assert "avg_latency_ms=" in out
+
+    def test_list_json_and_filters(self, capsys, populated_registry):
+        capsys.readouterr()  # drain the fixture's simulate output
+        assert main([
+            "runs", "list", "--registry", str(populated_registry),
+            "--kind", "simulate", "--limit", "1", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["kind"] == "simulate"
+        assert "requests" in payload[0]["summary"]
+
+    def test_show_renders_report_layout(self, capsys, populated_registry):
+        assert main(["runs", "show", "-1", "--registry",
+                     str(populated_registry)]) == 0
+        out = capsys.readouterr().out
+        assert "run " in out
+        assert "label" in out and "simulate:SDSL" in out
+        assert "config.requests_per_cache" in out
+
+    def test_compare_detects_workload_change(
+        self, capsys, populated_registry
+    ):
+        code = main(["runs", "compare", "-2", "-1", "--registry",
+                     str(populated_registry)])
+        out = capsys.readouterr().out
+        # Different workloads => metrics moved => exit 1.
+        assert code == 1
+        assert "requests" in out
+        assert "requests_per_cache: 20 -> 30" in out
+
+    def test_compare_tolerance_absorbs_changes(self, populated_registry):
+        assert main([
+            "runs", "compare", "-2", "-1", "--registry",
+            str(populated_registry), "--tolerance", "1000",
+        ]) == 0
+
+    def test_identical_run_compares_clean(self, capsys, populated_registry):
+        assert main(["runs", "compare", "-1", "-1", "--registry",
+                     str(populated_registry)]) == 0
+        assert "metrics: identical" in capsys.readouterr().out
+
+    def test_missing_registry_is_usage_error(self, capsys):
+        assert main(["runs", "list"]) == 2
+        assert "no registry" in capsys.readouterr().err
+
+    def test_bad_reference_is_usage_error(self, capsys, populated_registry):
+        assert main(["runs", "show", "ffffffffffff", "--registry",
+                     str(populated_registry)]) == 2
+        assert "no run matches" in capsys.readouterr().err
+
+    def test_gc_prunes_oldest(self, capsys, populated_registry):
+        assert main(["runs", "gc", "--keep", "1", "--registry",
+                     str(populated_registry)]) == 0
+        assert "dropped 1" in capsys.readouterr().out
+        assert main(["runs", "list", "--registry",
+                     str(populated_registry)]) == 0
+        assert "1 run(s)" in capsys.readouterr().out
+
+
+class TestReportJson:
+    def test_report_json_round_trips_manifest(
+        self, capsys, tmp_path, network_file
+    ):
+        manifest_path = tmp_path / "run.json"
+        assert main([
+            "simulate", "--network", str(network_file), "--seed", "3",
+            "--requests-per-cache", "20", "--documents", "40",
+            "--sample-ms", "1000", "--manifest", str(manifest_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(manifest_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "run_manifest"
+        assert payload["label"] == "simulate:SDSL"
+        assert payload["totals"]["requests"] > 0
+        # Byte-equivalent to the archived file's payload.
+        assert payload == json.loads(manifest_path.read_text())
+
+    def test_registry_show_json_matches_report(
+        self, capsys, populated_registry
+    ):
+        capsys.readouterr()  # drain the fixture's simulate output
+        assert main([
+            "runs", "show", "-1", "--registry", str(populated_registry),
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "run_manifest"
+        assert payload["registry_kind"] == "simulate"
+        assert len(payload["run_id"]) == 12
