@@ -186,13 +186,14 @@ _ARTIFACT_PATH = Path("BENCH_engine.json")
 
 def test_emit_bench_engine_artifact():
     """Measure engine + suite throughput and write BENCH_engine.json."""
-    from repro.bench import DEFAULT_SCENARIO, run_bench
+    from repro.bench import DEFAULT_SCENARIO, LARGE_SCENARIO, run_bench
 
     baseline = json.loads(_BASELINE_PATH.read_text())
 
     result = run_bench(
         scenario=DEFAULT_SCENARIO, label="trajectory",
         include_suite=True, suite_jobs=(1, 2),
+        extra_scenarios={"large": LARGE_SCENARIO},
     )
     engine = result.engine
     serial = result.suite["jobs1"]
@@ -208,6 +209,14 @@ def test_emit_bench_engine_artifact():
                 engine["instrumented_events_per_sec"]
             ),
             "heap_loop_events_per_sec": engine["heap_events_per_sec"],
+        },
+        "engine_1m": {
+            "events": int(
+                result.scenarios["large"]["engine"]["events"]
+            ),
+            "plain_events_per_sec": (
+                result.scenarios["large"]["engine"]["plain_events_per_sec"]
+            ),
         },
         "suite": {
             "wall_s_jobs1": serial["wall_s"],

@@ -16,6 +16,7 @@ from repro.bench.core import (
     BENCH_FORMAT_VERSION,
     DEFAULT_SCENARIO,
     DEFAULT_TOLERANCE,
+    LARGE_SCENARIO,
     SMALL_SCENARIO,
     BenchCheck,
     BenchResult,
@@ -35,6 +36,7 @@ __all__ = [
     "BENCH_FORMAT_VERSION",
     "DEFAULT_SCENARIO",
     "DEFAULT_TOLERANCE",
+    "LARGE_SCENARIO",
     "SMALL_SCENARIO",
     "BenchCheck",
     "BenchResult",

@@ -51,7 +51,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "run", help="measure engine (and optionally suite) throughput"
     )
     run.add_argument("--scenario", default="default",
-                     choices=["default", "small"])
+                     choices=["default", "small", "large"])
+    run.add_argument("--extra-scenarios", default="", metavar="A,B",
+                     help="comma-separated named scenarios measured "
+                          "alongside the primary one (e.g. large)")
     run.add_argument("--rounds", type=int, metavar="N",
                      help="best-of-N timing rounds (default: scenario's)")
     run.add_argument("--label", default="local")
@@ -110,11 +113,17 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
     scenario = scenario_by_name(args.scenario)
     if args.rounds is not None:
         scenario = dataclasses.replace(scenario, rounds=args.rounds)
+    extras = {
+        name.strip(): scenario_by_name(name.strip())
+        for name in args.extra_scenarios.split(",")
+        if name.strip()
+    }
     result = run_bench(
         scenario=scenario,
         label=args.label,
         include_suite=args.suite,
         suite_jobs=_parse_jobs_list(args.suite_jobs),
+        extra_scenarios=extras,
     )
     print(render_bench_text(result), file=out)
     if args.out:
@@ -152,6 +161,10 @@ def render_bench_text(result: BenchResult) -> str:
     table = Table(["metric", "value"], float_format="{:.1f}")
     for name in sorted(result.engine):
         table.add_row([f"engine.{name}", result.engine[name]])
+    for extra in sorted(result.scenarios):
+        engine = result.scenarios[extra].get("engine") or {}
+        for name in sorted(engine):
+            table.add_row([f"scenario.{extra}.{name}", engine[name]])
     for level in sorted(result.suite):
         for name in sorted(result.suite[level]):
             table.add_row(
@@ -228,7 +241,11 @@ def _cmd_gate(args: argparse.Namespace, out: TextIO) -> int:
         candidate = load_bench(args.candidate)
     else:
         candidate = run_bench(
-            scenario=baseline.scenario, label="gate-candidate"
+            scenario=baseline.scenario, label="gate-candidate",
+            extra_scenarios={
+                name: baseline.extra_scenario(name)
+                for name in sorted(baseline.scenarios)
+            },
         )
         if args.out:
             save_bench(candidate, args.out)

@@ -33,7 +33,12 @@ from repro.obs.profiling import perf_seconds
 
 PathLike = Union[str, Path]
 
-BENCH_FORMAT_VERSION = 1
+#: Format 2 adds the optional ``scenarios`` mapping (named extra
+#: scenarios measured alongside the primary one); format-1 files load
+#: unchanged with no extras.
+BENCH_FORMAT_VERSION = 2
+
+_READABLE_FORMAT_VERSIONS = (1, 2)
 
 #: Default relative throughput drop treated as a regression.  An
 #: events/s metric below ``(1 - tolerance) x baseline`` fails the gate;
@@ -43,7 +48,12 @@ DEFAULT_TOLERANCE = 0.15
 
 @dataclass(frozen=True)
 class BenchScenario:
-    """Every input the engine measurement depends on."""
+    """Every input the engine measurement depends on.
+
+    The workload/cache knobs default to the library defaults that were
+    implicitly in effect before they became scenario fields, so older
+    baselines (which omit them) keep their exact event counts.
+    """
 
     num_caches: int = 100
     network_seed: int = 5
@@ -51,15 +61,36 @@ class BenchScenario:
     requests_per_cache: int = 100
     workload_seed: int = 9
     rounds: int = 3
+    zipf_alpha: float = 0.9
+    dynamic_fraction: float = 0.6
+    update_interarrival_ms: float = 400.0
+    capacity_fraction: float = 0.1
+    #: 1 = one cooperative group of everything; N > 1 partitions the
+    #: caches round-robin into N groups.
+    num_groups: int = 1
+    #: ``"all"`` measures the plain, instrumented, and heap loops;
+    #: ``"plain"`` measures only the default loop (used by the large
+    #: scenario, where three full 1M-event sweeps would dominate CI).
+    measure: str = "all"
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "BenchScenario":
-        known = {f.name for f in dataclasses.fields(cls)}
+        coerced: Dict[str, Any] = {}
         try:
-            return cls(**{k: int(v) for k, v in payload.items() if k in known})
+            for spec in dataclasses.fields(cls):
+                if spec.name not in payload:
+                    continue
+                value = payload[spec.name]
+                if spec.type in ("int", int):
+                    coerced[spec.name] = int(value)
+                elif spec.type in ("float", float):
+                    coerced[spec.name] = float(value)
+                else:
+                    coerced[spec.name] = str(value)
+            return cls(**coerced)
         except (TypeError, ValueError) as exc:
             raise BenchmarkError(
                 f"malformed bench scenario: {payload!r}"
@@ -75,11 +106,34 @@ SMALL_SCENARIO = BenchScenario(
     num_caches=30, num_documents=80, requests_per_cache=30, rounds=1
 )
 
-_SCENARIOS = {"default": DEFAULT_SCENARIO, "small": SMALL_SCENARIO}
+#: The 1M-event steady-state scenario: a hot, mostly-static corpus on a
+#: 100-cache network split into ten groups, sized so caches warm up and
+#: the loop spends its time in the request hot path rather than cold
+#: misses.  This is the ``plain_events_per_sec`` number the 500k-events/s
+#: target tracks; the heap/instrumented sweeps are skipped
+#: (``measure="plain"``) to keep the CI gate affordable.
+LARGE_SCENARIO = BenchScenario(
+    num_caches=100,
+    num_documents=150,
+    requests_per_cache=10_000,
+    rounds=2,
+    zipf_alpha=1.2,
+    dynamic_fraction=0.1,
+    update_interarrival_ms=2_000.0,
+    capacity_fraction=1.0,
+    num_groups=10,
+    measure="plain",
+)
+
+_SCENARIOS = {
+    "default": DEFAULT_SCENARIO,
+    "small": SMALL_SCENARIO,
+    "large": LARGE_SCENARIO,
+}
 
 
 def scenario_by_name(name: str) -> BenchScenario:
-    """Resolve a named scenario (``default`` or ``small``)."""
+    """Resolve a named scenario (``default``, ``small``, or ``large``)."""
     try:
         return _SCENARIOS[name]
     except KeyError:
@@ -102,6 +156,8 @@ class BenchResult:
     engine: Dict[str, float] = field(default_factory=dict)
     #: per jobs level: wall_s, events, events_per_sec, events_per_sec_per_core
     suite: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: named extra scenarios: name -> {"scenario": {...}, "engine": {...}}
+    scenarios: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def metrics(self) -> Dict[str, float]:
         """Flat ``name -> value`` view of every gated throughput metric."""
@@ -114,7 +170,23 @@ class BenchResult:
             for name, value in self.suite[level].items():
                 if name.endswith("_per_sec") or name.endswith("_per_core"):
                     flat[f"suite.{level}.{name}"] = float(value)
+        for extra in sorted(self.scenarios):
+            engine = self.scenarios[extra].get("engine") or {}
+            for name, value in engine.items():
+                if name.endswith("_per_sec"):
+                    flat[f"scenario.{extra}.{name}"] = float(value)
         return flat
+
+    def extra_scenario(self, name: str) -> BenchScenario:
+        """The recorded definition of one named extra scenario."""
+        try:
+            payload = self.scenarios[name]
+        except KeyError:
+            raise BenchmarkError(
+                f"bench result {self.label!r} has no extra scenario "
+                f"{name!r}"
+            ) from None
+        return BenchScenario.from_dict(payload.get("scenario") or {})
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -126,6 +198,13 @@ class BenchResult:
             "scenario": self.scenario.to_dict(),
             "engine": dict(self.engine),
             "suite": {k: dict(v) for k, v in self.suite.items()},
+            "scenarios": {
+                name: {
+                    "scenario": dict(payload.get("scenario") or {}),
+                    "engine": dict(payload.get("engine") or {}),
+                }
+                for name, payload in self.scenarios.items()
+            },
         }
 
     @classmethod
@@ -148,8 +227,20 @@ class BenchResult:
                     }
                     for level, stats in (payload.get("suite") or {}).items()
                 },
+                scenarios={
+                    str(name): {
+                        "scenario": dict(entry.get("scenario") or {}),
+                        "engine": {
+                            str(k): float(v)
+                            for k, v in (entry.get("engine") or {}).items()
+                        },
+                    }
+                    for name, entry in (
+                        payload.get("scenarios") or {}
+                    ).items()
+                },
             )
-        except (TypeError, ValueError) as exc:
+        except (TypeError, ValueError, AttributeError) as exc:
             raise BenchmarkError(
                 f"malformed bench result payload: {exc}"
             ) from exc
@@ -187,10 +278,10 @@ def load_bench(path: PathLike) -> BenchResult:
             f"{payload.get('kind')!r})"
         )
     version = payload.get("format_version")
-    if version != BENCH_FORMAT_VERSION:
+    if version not in _READABLE_FORMAT_VERSIONS:
         raise BenchmarkError(
             f"{path} has bench format version {version}, "
-            f"expected {BENCH_FORMAT_VERSION}"
+            f"expected one of {_READABLE_FORMAT_VERSIONS}"
         )
     return BenchResult.from_dict(payload)
 
@@ -208,9 +299,20 @@ def _best_of(fn: Any, rounds: int) -> float:
     return best
 
 
-def _build_bench_testbed(scenario: BenchScenario) -> Tuple[Any, Any, Any]:
-    from repro.config import DocumentConfig, WorkloadConfig
-    from repro.core.groups import single_group
+def _build_bench_testbed(
+    scenario: BenchScenario,
+) -> Tuple[Any, Any, Any, Any]:
+    from repro.config import (
+        CacheConfig,
+        DocumentConfig,
+        SimulationConfig,
+        WorkloadConfig,
+    )
+    from repro.core.groups import (
+        GroupingResult,
+        groups_from_labels,
+        single_group,
+    )
     from repro.topology import build_network
     from repro.workload import generate_workload
 
@@ -221,44 +323,72 @@ def _build_bench_testbed(scenario: BenchScenario) -> Tuple[Any, Any, Any]:
         network.cache_nodes,
         WorkloadConfig(
             documents=DocumentConfig(
-                num_documents=scenario.num_documents
+                num_documents=scenario.num_documents,
+                dynamic_fraction=scenario.dynamic_fraction,
             ),
             requests_per_cache=scenario.requests_per_cache,
+            zipf_alpha=scenario.zipf_alpha,
+            mean_update_interarrival_ms=scenario.update_interarrival_ms,
         ),
         seed=scenario.workload_seed,
     )
-    grouping = single_group(network.cache_nodes)
-    return network, workload, grouping
+    if scenario.num_groups <= 1:
+        grouping = single_group(network.cache_nodes)
+    else:
+        grouping = GroupingResult(
+            scheme="bench-round-robin",
+            groups=groups_from_labels(
+                network.cache_nodes,
+                [
+                    node % scenario.num_groups
+                    for node in network.cache_nodes
+                ],
+            ),
+        )
+    config = SimulationConfig(
+        cache=CacheConfig(capacity_fraction=scenario.capacity_fraction)
+    )
+    return network, workload, grouping, config
 
 
 def run_engine_bench(scenario: BenchScenario) -> Dict[str, float]:
     """Measure event-loop throughput for one scenario.
 
     Returns ``events`` (loop length — the comparability anchor) and
-    best-of-``rounds`` events/s for the default sorted loop, the fully
-    instrumented loop (trace + sampler), and the legacy heap loop.
+    best-of-``rounds`` events/s for the default batched loop and — for
+    ``measure="all"`` scenarios — the fully instrumented loop (trace +
+    sampler) and the legacy heap loop.
     """
     from repro.obs import MetricsSampler, Observer, TraceCollector
     from repro.simulator import simulate
 
-    network, workload, grouping = _build_bench_testbed(scenario)
+    network, workload, grouping, config = _build_bench_testbed(scenario)
 
-    counter = Observer()
-    simulate(network, grouping, workload, observer=counter)
-    events = int(counter.run_stats["events"])
+    # The event count is the workload's requests plus its update
+    # barriers — a pure function of the scenario, counted without
+    # paying for an extra instrumented run.
+    events = len(workload.requests) + len(workload.updates)
 
     t_plain = _best_of(
-        lambda: simulate(network, grouping, workload), scenario.rounds
+        lambda: simulate(network, grouping, workload, config=config),
+        scenario.rounds,
     )
+    metrics = {
+        "events": float(events),
+        "plain_events_per_sec": events / t_plain,
+    }
+    if scenario.measure == "plain":
+        return metrics
     t_heap = _best_of(
         lambda: simulate(
-            network, grouping, workload, event_loop="heap"
+            network, grouping, workload, config=config,
+            event_loop="heap",
         ),
         scenario.rounds,
     )
     t_instrumented = _best_of(
         lambda: simulate(
-            network, grouping, workload,
+            network, grouping, workload, config=config,
             observer=Observer(
                 trace=TraceCollector(capacity=10_000),
                 sampler=MetricsSampler(interval_ms=1_000.0),
@@ -266,12 +396,9 @@ def run_engine_bench(scenario: BenchScenario) -> Dict[str, float]:
         ),
         scenario.rounds,
     )
-    return {
-        "events": float(events),
-        "plain_events_per_sec": events / t_plain,
-        "instrumented_events_per_sec": events / t_instrumented,
-        "heap_events_per_sec": events / t_heap,
-    }
+    metrics["instrumented_events_per_sec"] = events / t_instrumented
+    metrics["heap_events_per_sec"] = events / t_heap
+    return metrics
 
 
 def run_suite_bench(
@@ -287,40 +414,50 @@ def run_suite_bench(
     jobs level — the scaling number the ROADMAP's sharded-simulation
     arc tracks.
     """
+    import tempfile
+
     from repro.experiments.suite import run_suite
     from repro.runtime import reset_cache
 
     levels: Dict[str, Dict[str, float]] = {}
-    for jobs in jobs_levels:
-        reset_cache()
-        start = perf_seconds()
-        run = run_suite(
-            figures=figures, repetitions=repetitions, jobs=jobs,
-            worker_perf=True,
-        )
-        wall_s = perf_seconds() - start
-        manifests = run.manifests.values()
-        events = sum(
-            manifest.run_stats.get("worker_events", 0.0)
-            for manifest in manifests
-        )
-        levels[f"jobs{jobs}"] = {
-            "wall_s": wall_s,
-            "events": events,
-            "events_per_sec": events / wall_s if wall_s else 0.0,
-            "events_per_sec_per_core": (
-                events / wall_s / jobs if wall_s else 0.0
-            ),
-            # Cache effectiveness context (not gated: no _per_sec suffix).
-            "testbed_cache_hits": sum(
-                m.run_stats.get("testbed_cache_hits", 0.0)
-                for m in manifests
-            ),
-            "testbed_cache_misses": sum(
-                m.run_stats.get("testbed_cache_misses", 0.0)
-                for m in manifests
-            ),
-        }
+    with tempfile.TemporaryDirectory(prefix="bench-testbed-") as cache_dir:
+        for jobs in jobs_levels:
+            reset_cache()
+            start = perf_seconds()
+            run = run_suite(
+                figures=figures, repetitions=repetitions, jobs=jobs,
+                worker_perf=True,
+                # Share built testbeds across worker processes via the
+                # disk tier: without it every forked worker rebuilds the
+                # figure's networks/workloads from scratch, which is what
+                # collapsed the measured events/s-per-core at jobs >= 2
+                # (see docs/performance.md).
+                cache_dir=cache_dir,
+            )
+            wall_s = perf_seconds() - start
+            manifests = run.manifests.values()
+            events = sum(
+                manifest.run_stats.get("worker_events", 0.0)
+                for manifest in manifests
+            )
+            levels[f"jobs{jobs}"] = {
+                "wall_s": wall_s,
+                "events": events,
+                "events_per_sec": events / wall_s if wall_s else 0.0,
+                "events_per_sec_per_core": (
+                    events / wall_s / jobs if wall_s else 0.0
+                ),
+                # Cache effectiveness context (not gated: no _per_sec
+                # suffix).
+                "testbed_cache_hits": sum(
+                    m.run_stats.get("testbed_cache_hits", 0.0)
+                    for m in manifests
+                ),
+                "testbed_cache_misses": sum(
+                    m.run_stats.get("testbed_cache_misses", 0.0)
+                    for m in manifests
+                ),
+            }
     reset_cache()
     return levels
 
@@ -330,14 +467,25 @@ def run_bench(
     label: str = "local",
     include_suite: bool = False,
     suite_jobs: Sequence[int] = (1, 2),
+    extra_scenarios: Optional[Dict[str, BenchScenario]] = None,
 ) -> BenchResult:
-    """Measure one full bench result (engine, optionally suite)."""
+    """Measure one full bench result (engine, optionally suite).
+
+    ``extra_scenarios`` maps names to additional scenarios measured
+    after the primary one; each is recorded with its full definition so
+    a later gate can re-measure it from the baseline file alone.
+    """
     result = BenchResult(
         label=label,
         scenario=scenario,
         cores=os.cpu_count() or 1,
         engine=run_engine_bench(scenario),
     )
+    for name, extra in (extra_scenarios or {}).items():
+        result.scenarios[name] = {
+            "scenario": extra.to_dict(),
+            "engine": run_engine_bench(extra),
+        }
     if include_suite:
         result.suite = run_suite_bench(jobs_levels=suite_jobs)
     return result
@@ -431,6 +579,21 @@ def gate_bench(
             f"{base_events:.0f} events, candidate {cand_events:.0f} "
             f"(different scenarios — re-baseline instead of gating)"
         )
+    for name in set(baseline.scenarios) & set(candidate.scenarios):
+        base_extra = (baseline.scenarios[name].get("engine") or {}).get(
+            "events"
+        )
+        cand_extra = (candidate.scenarios[name].get("engine") or {}).get(
+            "events"
+        )
+        if base_extra is not None and cand_extra is not None \
+                and base_extra != cand_extra:
+            raise BenchmarkError(
+                f"bench results are not comparable: scenario {name!r} "
+                f"processed {base_extra:.0f} events in the baseline, "
+                f"{cand_extra:.0f} in the candidate (different "
+                f"definitions — re-baseline instead of gating)"
+            )
     if tolerance < 0:
         raise ValueError(f"tolerance must be >= 0, got {tolerance}")
     report = compare_bench(baseline, candidate, tolerance=tolerance)

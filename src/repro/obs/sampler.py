@@ -138,6 +138,12 @@ class MetricsSampler:
         return self._interval_ms
 
     @property
+    def next_tick_ms(self) -> float:
+        """The next sample boundary (the batched loop mirrors this
+        locally so its per-event due-check is one float compare)."""
+        return self._next_tick_ms
+
+    @property
     def num_samples(self) -> int:
         return len(self._samples)
 
@@ -165,6 +171,29 @@ class MetricsSampler:
         else:
             raise SimulationError(f"unknown service path {path_value!r}")
         self._window_hist.add(total_ms)
+
+    def observe_batch(
+        self,
+        local_hits: int,
+        group_hits: int,
+        origin_fetches: int,
+        total_ms_values: List[float],
+    ) -> None:
+        """Fold a run of served requests into the current window at once.
+
+        Batched counterpart of :meth:`observe_request`: the batched
+        event loop buffers per-path counts and latency totals between
+        sample ticks and folds them here in one call.  ``total_ms_values``
+        must be in served order — the window histogram accumulates its
+        sum sequentially, so order is what keeps the flushed samples
+        bit-identical to per-request observation.
+        """
+        self._local += local_hits
+        self._group += group_hits
+        self._origin += origin_fetches
+        hist_add = self._window_hist.add
+        for value in total_ms_values:
+            hist_add(value)
 
     def next_due(self, now_ms: float) -> Optional[float]:
         """The next tick time <= ``now_ms``, or None if none is due."""

@@ -145,6 +145,22 @@ class TraceCollector:
         self._records.append(record)
         self._total += 1
 
+    def record_many(self, records: List[TraceRecord]) -> None:
+        """Append a batch of records in order (the batched-loop path).
+
+        One ``extend`` instead of per-record calls; ring-buffer
+        eviction accounting matches what ``len(records)`` individual
+        :meth:`record` calls would have produced.
+        """
+        if self._capacity is not None:
+            evicted = (
+                len(self._records) + len(records) - self._capacity
+            )
+            if evicted > 0:
+                self._dropped += evicted
+        self._records.extend(records)
+        self._total += len(records)
+
     def records(self) -> List[TraceRecord]:
         """The held records, oldest first."""
         return list(self._records)

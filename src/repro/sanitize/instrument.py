@@ -184,6 +184,33 @@ class SanitizerState:
         entry.digest = digest
         entry.count += len(events)
 
+    def record_event_stream(
+        self, pairs: Iterator[Tuple[str, float]]
+    ) -> None:
+        """Fold ``(type name, timestamp)`` pairs — the batched loop path.
+
+        The batched event loop has no event objects for requests, so it
+        feeds the merged stream as name/timestamp pairs.  The digest is
+        identical to :meth:`record_events` over the event objects the
+        legacy loops would have popped, by construction.
+        """
+        entry = self._event_entry
+        if entry is None:
+            entry = self._target.entry(self._phase_str, EVENT_SITE)
+            self._event_entry = entry
+        crc_cache = _TYPE_CRC
+        digest = entry.digest
+        count = 0
+        for name, timestamp_ms in pairs:
+            crc = crc_cache.get(name)
+            if crc is None:
+                crc = crc_cache[name] = zlib.crc32(name.encode("ascii"))
+            draw = (crc * 1000003) ^ (hash(timestamp_ms) & _HASH_MASK)
+            digest = (digest * _POLY + draw) & _HASH_MASK
+            count += 1
+        entry.digest = digest
+        entry.count += count
+
     # -- task capture ------------------------------------------------
 
     def begin_capture(self) -> Tuple[Ledger, List[str]]:
@@ -303,6 +330,24 @@ class _CaptureBox:
     payload: Optional[Dict[str, Any]] = None
 
 
+class _ColumnLedgerHook:
+    """Duck-typed hook handed to :mod:`repro.simulator.events`.
+
+    The batched event loop calls ``record_stream`` once per run with
+    the merged (type name, timestamp) stream; gating on the module
+    global keeps suspended sections (testbed-cache builds) out of the
+    ledger, exactly like the queue-pop patches.
+    """
+
+    def __init__(self, state: SanitizerState) -> None:
+        self._state = state
+
+    def record_stream(self, pairs: Iterator[Tuple[str, float]]) -> None:
+        active = _ACTIVE
+        if active is not None:
+            active.record_event_stream(pairs)
+
+
 class _Patch:
     """One reversible attribute replacement."""
 
@@ -319,6 +364,7 @@ class _Patch:
 def _install(state: SanitizerState) -> List[_Patch]:
     from repro.runtime import scheduler as scheduler_module
     from repro.runtime.cache import TestbedCache
+    from repro.simulator import events as events_module
     from repro.simulator.events import EventQueue
     from repro.utils.rng import RngFactory
 
@@ -391,6 +437,11 @@ def _install(state: SanitizerState) -> List[_Patch]:
     # patch records the previous hook and restores it on undo.
     patches.append(
         _Patch(scheduler_module, "_TASK_LEDGER", _TaskLedgerHook(state))
+    )
+    # The batched loop's event-stream feed (set_column_ledger is the
+    # equivalent public setter).
+    patches.append(
+        _Patch(events_module, "_COLUMN_LEDGER", _ColumnLedgerHook(state))
     )
     return patches
 

@@ -1,0 +1,799 @@
+"""The data-oriented batched event loop (``event_loop="batched"``).
+
+The legacy loops (:mod:`repro.simulator.engine`'s ``"sorted"`` and
+``"heap"`` paths) dispatch one Python event object per step through a
+handler table, paying object construction, method dispatch, and
+per-event metric folds for every request.  This module replaces that
+hot path with a *slice kernel* over :class:`~repro.simulator.events.
+EventColumns`:
+
+* Requests live as pre-extracted timestamp/cache/doc columns; no
+  ``RequestEvent`` objects exist at all.
+* The rare *barrier* events (origin updates, failures, recoveries,
+  partition edges) split the request stream into causality-safe
+  slices: between two barriers no cache fails, no partition moves and
+  no origin version changes, so requests are processed in a tight
+  loop with every per-run constant bound to a local.
+* Cache state is driven inline: the kernel mutates the shared
+  :class:`~repro.simulator.state.CacheStore` records and the
+  replacement policies' :meth:`~repro.simulator.replacement.
+  ReplacementPolicy.hot_state` structures directly, replaying *exactly*
+  the operations the method path would have performed (same dict and
+  heap mutations, same float expressions, same order).
+* Metrics accumulate into flat per-cache slots (Welford recurrence and
+  histogram binning inlined with identical arithmetic) and fold into
+  :class:`~repro.simulator.metrics.SimulationMetrics` once at end of
+  run; instrumented runs buffer trace rows per slice and mirror the
+  sampler's next-due tick in a local so observation costs one compare
+  per event.
+* Barriers themselves run through the engine's legacy handlers — they
+  are rare, and reusing the exact handler code on the exact shared
+  state is what makes divergence structurally impossible there.
+
+The contract — pinned by ``tests/simulator/test_batched_loop.py`` and
+the PR 5 sanitize ledger — is that a batched run is *bit-identical* to
+a ``"sorted"`` run: every metric, trace record, sample, and archived
+figure byte.  Any optimisation that would change a single float
+operation's order does not belong here.
+
+The inline fast path covers the default ``"utility"`` replacement
+policy and the ``"beacon"``/``"directory"`` protocols; LRU/LFU and
+``"multicast"`` runs take the same slice loop but drive the policy or
+lookup through the original (bound-method) code paths, trading a
+little speed for zero duplication of rarely-hot logic.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from math import inf
+from typing import TYPE_CHECKING, Iterator, Tuple
+
+from repro.obs.trace import KIND_REQUEST, TraceRecord
+from repro.simulator import events as events_module
+from repro.simulator.events import OriginUpdateEvent
+
+if TYPE_CHECKING:
+    from repro.simulator.engine import SimulationEngine
+
+#: Shared empty holder list: the miss path yields it when the directory
+#: has no entry, mirroring the empty list the legacy comprehension
+#: builds (it is only ever iterated, never mutated).
+_NO_HOLDERS: list = []
+
+
+def _merged_stream(
+    req_ts: list, barriers: tuple, positions: list
+) -> Iterator[Tuple[str, float]]:
+    """(type name, timestamp) pairs in merged pop order (ledger feed)."""
+    lo = 0
+    for index, barrier in enumerate(barriers):
+        hi = positions[index]
+        for j in range(lo, hi):
+            yield ("RequestEvent", req_ts[j])
+        lo = hi
+        yield (type(barrier).__name__, barrier.timestamp_ms)
+    for j in range(lo, len(req_ts)):
+        yield ("RequestEvent", req_ts[j])
+
+
+def run_batched(engine: "SimulationEngine") -> int:
+    """Process the engine's event columns; returns the event count.
+
+    Mutates the engine's shared state (store, policies, protocol,
+    metrics, observer) exactly as the legacy loops would; the engine's
+    ``run()`` wraps this with the common throughput/conservation
+    postlude.
+    """
+    columns = engine._columns
+    if columns is None or engine._columns_consumed:
+        return 0
+    engine._columns_consumed = True
+
+    # -- event stream ------------------------------------------------
+    req_ts = columns.req_timestamps.tolist()
+    req_cache = columns.req_caches.tolist()
+    req_doc = columns.req_docs.tolist()
+    barriers = columns.barriers
+    positions = columns.barrier_positions.tolist()
+    total_requests = len(req_ts)
+    num_barriers = len(barriers)
+
+    hook = events_module.column_ledger()
+    if hook is not None:
+        # Sorted runs record the full drained stream before processing;
+        # feeding the merged columns up front keeps ledger parity even
+        # for runs that fail mid-way.
+        hook.record_stream(_merged_stream(req_ts, barriers, positions))
+
+    # -- shared state, bound to locals -------------------------------
+    config = engine._config
+    network = engine._network
+    nodes = network.cache_nodes
+    origin_node = network.origin
+    size_index = nodes[-1] + 1 if nodes else 1
+
+    store = engine._store
+    used = store.used
+    caches = engine._caches
+    docs_by = [None] * size_index
+    cap_by = [0] * size_index
+    for node in nodes:
+        docs_by[node] = store.docs[node]
+        cap_by[node] = caches[node].capacity_bytes
+
+    util_mode = config.cache.replacement_policy == "utility"
+    policy_by = [None] * size_index
+    acc_by = [None] * size_index
+    psz_by = [None] * size_index
+    pfc_by = [None] * size_index
+    pinv_by = [None] * size_index
+    pver_by = [None] * size_index
+    heap_by = [None] * size_index
+    # Deferred heap entries: the utility policy's (score, version, doc)
+    # pushes buffer here and flush into the real heap only when an
+    # eviction is about to read it.  Tuple comparison is a total order
+    # (per-doc versions make entries distinct), so heap *pop order*
+    # depends only on the entry multiset, never on push order — which
+    # is what makes the deferral invisible to victim selection.
+    pend_by = [None] * size_index
+    for node in nodes:
+        policy = caches[node].policy
+        policy_by[node] = policy
+        if util_mode:
+            hot = policy.hot_state()
+            acc_by[node] = hot["access"]
+            psz_by[node] = hot["size"]
+            pfc_by[node] = hot["fetch_cost"]
+            pinv_by[node] = hot["invalidations"]
+            pver_by[node] = hot["version"]
+            heap_by[node] = hot["heap"]
+            pend_by[node] = []
+
+    protocol = engine._protocol
+    proto = protocol.hot_state()
+    holders_map = proto["holders"]
+    lookup_ms = proto["lookup_ms"]
+    partition_timeout_ms = proto["partition_timeout_ms"]
+    beacon_mode = proto["mode"] == "beacon"
+    directory_mode = proto["mode"] == "directory"
+    proto_lookup = protocol.lookup
+    proto_holders = protocol.holders_in_group
+    group_by = [-1] * size_index
+    peers_by = [None] * size_index
+    members_by = [None] * size_index
+    for node in nodes:
+        group_by[node] = proto["group_of"][node]
+        peers_by[node] = proto["peers"][node]
+        members_by[node] = proto["members_sorted"][node]
+
+    rtt = network.distances.as_array()
+    rtt_by = [None] * size_index
+    for node in nodes:
+        rtt_by[node] = rtt[node].tolist()
+
+    local_ms = config.cache.local_processing_ms
+    bandwidth = config.link_bandwidth_bytes_per_ms
+    origin_processing = config.origin_processing_ms
+    rtt0_by = [0.0] * size_index
+    fetch0_by = [0.0] * size_index
+    for node in nodes:
+        rtt0_by[node] = rtt_by[node][origin_node]
+        # Same expression the latency model evaluates per fetch:
+        # rtt-to-origin plus flat processing (constant when origin
+        # queueing is off, so it can be hoisted out of the loop).
+        fetch0_by[node] = rtt_by[node][origin_node] + origin_processing
+
+    origin = engine._origin
+    sizes = origin.catalog.sizes.tolist()
+    origin_version = [0] * len(sizes)
+    origin_version_of = origin.version_of
+
+    ttl_mode = (
+        config.consistency_enabled and config.consistency_mode == "ttl"
+    )
+    ttl_ms = config.ttl_ms
+    cooperative = config.cache.cooperative_placement
+    placement_threshold = config.cache.placement_rtt_threshold_ms
+
+    down = engine._down
+    partition_of = engine._partition_of
+    origin_load = engine._origin_load
+    queueing = origin_load is not None
+    if queueing:
+        record_arrival = origin_load.record_arrival
+        inflation_factor = origin_load.inflation_factor
+
+    # -- metric accumulators -----------------------------------------
+    metrics = engine._metrics
+    warmup = engine._warmup_remaining
+    lat_by = [None] * size_index
+    for node in nodes:
+        lat_by[node] = [0, 0.0, 0.0, inf, -inf]
+    m_local = [0] * size_index
+    m_group = [0] * size_index
+    m_origin = [0] * size_index
+    m_queries = [0] * size_index
+    m_peer_bytes = [0] * size_index
+    m_origin_bytes = [0] * size_index
+    m_stale = [0] * size_index
+    m_skips = [0] * size_index
+    m_down = [0] * size_index
+    m_ptimeout = [0] * size_index
+
+    hist = metrics._latency_hist
+    hist_width = hist.bin_width
+    overflow_bin = hist.num_bins - 1
+    bins = [0] * hist.num_bins
+    hist_count = 0
+    hist_sum = 0.0
+    hist_min = inf
+    hist_max = -inf
+    # Local hits all share the constant local-processing latency; its
+    # bin is the same every time (binned by the identical rule).
+    local_bin = int(local_ms / hist_width)
+    if local_bin >= overflow_bin:
+        local_bin = overflow_bin
+
+    # -- instrumentation ---------------------------------------------
+    observer = engine._observer
+    instrumented = engine._instrumented
+    trace = observer.trace if instrumented else None
+    sampler = observer.sampler if instrumented else None
+    trace_buf: list = []
+    window_local = window_group = window_origin = 0
+    window_totals: list = []
+    next_tick = sampler.next_tick_ms if sampler is not None else inf
+    sample_gauges = engine._sample_gauges
+
+    handlers = engine._handlers
+
+    # -- the slice loop ----------------------------------------------
+    # Each barrier slice is further split at the warm-up boundary so
+    # ``counted`` is a loop constant, and iterated with one zip over
+    # list slices instead of three indexed loads per event.
+    barrier_index = 0
+    i = 0
+    while True:
+        hi = (
+            positions[barrier_index]
+            if barrier_index < num_barriers
+            else total_requests
+        )
+        lo = i
+        while lo < hi:
+            if lo < warmup:
+                sub_hi = hi if hi <= warmup else warmup
+                counted = False
+            else:
+                sub_hi = hi
+                counted = True
+            lo_next = sub_hi
+            for ts, c, d in zip(
+                req_ts[lo:sub_hi],
+                req_cache[lo:sub_hi],
+                req_doc[lo:sub_hi],
+            ):
+                if next_tick <= ts:
+                    # Flush every sample boundary preceding this event
+                    # (mirrors the legacy pre-event flush loop).
+                    if window_totals:
+                        sampler.observe_batch(
+                            window_local, window_group, window_origin,
+                            window_totals,
+                        )
+                        window_local = window_group = window_origin = 0
+                        window_totals = []
+                    while next_tick <= ts:
+                        sampler.flush(next_tick, **sample_gauges(next_tick))
+                        next_tick = sampler.next_tick_ms
+
+
+                if down and c in down:
+                    # Down cache: client falls through to the origin
+                    # directly (no group help, nothing cached).
+                    m_down[c] += 1
+                    size = sizes[d]
+                    query = 0.0
+                    if partition_of and (
+                        partition_of.get(c) != partition_of.get(origin_node)
+                    ):
+                        query = query + partition_timeout_ms
+                        m_ptimeout[c] += 1
+                    if queueing:
+                        record_arrival(ts)
+                        fetch = (
+                            rtt0_by[c]
+                            + origin_processing * inflation_factor(ts)
+                        )
+                    else:
+                        fetch = fetch0_by[c]
+                    transfer = size / bandwidth
+                    total = local_ms + query + fetch + transfer
+                    if counted:
+                        slot = lat_by[c]
+                        n = slot[0] + 1
+                        slot[0] = n
+                        delta = total - slot[1]
+                        mean = slot[1] + delta / n
+                        slot[1] = mean
+                        slot[2] += delta * (total - mean)
+                        if total < slot[3]:
+                            slot[3] = total
+                        if total > slot[4]:
+                            slot[4] = total
+                        bin_index = int(total / hist_width)
+                        if bin_index >= overflow_bin:
+                            bin_index = overflow_bin
+                        bins[bin_index] += 1
+                        hist_count += 1
+                        hist_sum += total
+                        if total < hist_min:
+                            hist_min = total
+                        if total > hist_max:
+                            hist_max = total
+                        m_origin[c] += 1
+                        m_origin_bytes[c] += size
+                    if sampler is not None:
+                        window_origin += 1
+                        window_totals.append(total)
+                    if trace is not None:
+                        trace_buf.append((
+                            ts, c, d, "origin_fetch", total, query, fetch,
+                            transfer, 0, size, counted, False,
+                        ))
+                    continue
+
+                docs_c = docs_by[c]
+                record = docs_c.get(d)
+                if record is not None and ttl_mode and (
+                    ts - record[1] > ttl_ms
+                ):
+                    # TTL lapsed: drop the copy before it serves anything.
+                    if util_mode:
+                        used[c] -= record[0]
+                        del docs_c[d]
+                        del acc_by[c][d]
+                        del psz_by[c][d]
+                        del pfc_by[c][d]
+                        del pver_by[c][d]
+                        by_group = holders_map.get(d)
+                        if by_group:
+                            held = by_group.get(group_by[c])
+                            if held is not None:
+                                held.discard(c)
+                                if not held:
+                                    del by_group[group_by[c]]
+                            if not by_group:
+                                del holders_map[d]
+                    else:
+                        caches[c].expire(d)
+                    record = None
+
+                if record is not None:
+                    # ---- local hit ----
+                    if util_mode:
+                        acc_c = acc_by[c]
+                        accesses = acc_c[d] + 1
+                        acc_c[d] = accesses
+                        pver_c = pver_by[c]
+                        version = pver_c[d] + 1
+                        pver_c[d] = version
+                        pend_by[c].append((
+                            accesses * pfc_by[c][d]
+                            / (psz_by[c][d] * (1.0 + pinv_by[c][d])),
+                            version,
+                            d,
+                        ))
+                    else:
+                        policy_by[c].on_access(d, ts)
+                    stale = record[2] < origin_version[d]
+                    if counted:
+                        slot = lat_by[c]
+                        n = slot[0] + 1
+                        slot[0] = n
+                        delta = local_ms - slot[1]
+                        mean = slot[1] + delta / n
+                        slot[1] = mean
+                        slot[2] += delta * (local_ms - mean)
+                        if local_ms < slot[3]:
+                            slot[3] = local_ms
+                        if local_ms > slot[4]:
+                            slot[4] = local_ms
+                        bins[local_bin] += 1
+                        hist_count += 1
+                        hist_sum += local_ms
+                        if local_ms < hist_min:
+                            hist_min = local_ms
+                        if local_ms > hist_max:
+                            hist_max = local_ms
+                        m_local[c] += 1
+                        if stale:
+                            m_stale[c] += 1
+                    if sampler is not None:
+                        window_local += 1
+                        window_totals.append(local_ms)
+                    if trace is not None:
+                        trace_buf.append((
+                            ts, c, d, "local_hit", local_ms, 0.0, 0.0, 0.0,
+                            0, 0, counted, stale,
+                        ))
+                    continue
+
+                # ---- local miss: cooperative lookup ----
+                size = sizes[d]
+                rtt_c = rtt_by[c]
+                peers = peers_by[c]
+                hit = False
+                holder = None
+                if not peers:
+                    query = 0.0
+                    messages = 0
+                elif beacon_mode or directory_mode:
+                    if down or partition_of:
+                        # Degraded path (rare): the full protocol filter
+                        # over down/partitioned holders.
+                        holders = proto_holders(c, d)
+                        if directory_mode:
+                            query = lookup_ms
+                            messages = 2
+                        else:
+                            members = members_by[c]
+                            beacon = members[
+                                (d * 2654435761) % len(members)
+                            ]
+                            if beacon == c:
+                                query = lookup_ms + 0.0
+                                messages = 0
+                            else:
+                                query = lookup_ms + rtt_c[beacon]
+                                messages = 2
+                                if down and beacon in down:
+                                    # The beacon is the only member who
+                                    # knows the holders: the query
+                                    # times out.
+                                    messages = 1
+                                    holders = _NO_HOLDERS
+                                elif partition_of and (
+                                    partition_of.get(c)
+                                    != partition_of.get(beacon)
+                                ):
+                                    query = (
+                                        lookup_ms + partition_timeout_ms
+                                    )
+                                    messages = 1
+                                    holders = _NO_HOLDERS
+                        if holders:
+                            best = holders[0]
+                            best_rtt = rtt_c[best]
+                            for k in range(1, len(holders)):
+                                candidate = holders[k]
+                                candidate_rtt = rtt_c[candidate]
+                                if candidate_rtt < best_rtt:
+                                    best_rtt = candidate_rtt
+                                    best = candidate
+                            hit = True
+                            holder = best
+                    else:
+                        # Clean path: every group member is reachable,
+                        # so the first-min scan runs straight over the
+                        # holder set — same strict-less order as the
+                        # protocol's filtered list, no allocation.
+                        if directory_mode:
+                            query = lookup_ms
+                            messages = 2
+                        else:
+                            members = members_by[c]
+                            beacon = members[
+                                (d * 2654435761) % len(members)
+                            ]
+                            if beacon == c:
+                                query = lookup_ms + 0.0
+                                messages = 0
+                            else:
+                                query = lookup_ms + rtt_c[beacon]
+                                messages = 2
+                        by_group = holders_map.get(d)
+                        if by_group is not None:
+                            held = by_group.get(group_by[c])
+                            if held is not None:
+                                best = -1
+                                best_rtt = inf
+                                for h in held:
+                                    if h != c:
+                                        candidate_rtt = rtt_c[h]
+                                        if candidate_rtt < best_rtt:
+                                            best_rtt = candidate_rtt
+                                            best = h
+                                if best >= 0:
+                                    hit = True
+                                    holder = best
+                else:
+                    # Multicast (and any future mode): the full method.
+                    result = proto_lookup(c, d)
+                    query = result.query_ms
+                    messages = result.messages
+                    if result.holder is not None:
+                        hit = True
+                        holder = result.holder
+
+                if hit and ttl_mode:
+                    # A holder found by the directory may itself have
+                    # expired under TTL; re-check before fetching from it.
+                    docs_h = docs_by[holder]
+                    held_record = docs_h.get(d)
+                    if held_record is not None and (
+                        ts - held_record[1] > ttl_ms
+                    ):
+                        if util_mode:
+                            used[holder] -= held_record[0]
+                            del docs_h[d]
+                            del acc_by[holder][d]
+                            del psz_by[holder][d]
+                            del pfc_by[holder][d]
+                            del pver_by[holder][d]
+                            by_group = holders_map.get(d)
+                            if by_group:
+                                held = by_group.get(group_by[holder])
+                                if held is not None:
+                                    held.discard(holder)
+                                    if not held:
+                                        del by_group[group_by[holder]]
+                                if not by_group:
+                                    del holders_map[d]
+                        else:
+                            caches[holder].expire(d)
+                    if d not in docs_h:
+                        hit = False
+                        holder = None
+
+                if hit:
+                    fetch = rtt_c[holder]
+                    transfer = size / bandwidth
+                    total = local_ms + query + fetch + transfer
+                    fetched_version = docs_by[holder][d][2]
+                    path_value = "group_hit"
+                else:
+                    if partition_of and (
+                        partition_of.get(c) != partition_of.get(origin_node)
+                    ):
+                        query = query + partition_timeout_ms
+                        m_ptimeout[c] += 1
+                    if queueing:
+                        record_arrival(ts)
+                        fetch = (
+                            rtt0_by[c]
+                            + origin_processing * inflation_factor(ts)
+                        )
+                    else:
+                        fetch = fetch0_by[c]
+                    transfer = size / bandwidth
+                    total = local_ms + query + fetch + transfer
+                    fetched_version = origin_version[d]
+                    path_value = "origin_fetch"
+
+                # ---- placement ----
+                if cooperative and hit and (
+                    rtt_c[holder] <= placement_threshold
+                ):
+                    m_skips[c] += 1
+                else:
+                    fetch_cost = fetch + transfer
+                    if util_mode:
+                        admitted = False
+                        cap_c = cap_by[c]
+                        if size <= cap_c:
+                            acc_c = acc_by[c]
+                            psz_c = psz_by[c]
+                            pfc_c = pfc_by[c]
+                            pver_c = pver_by[c]
+                            heap_c = heap_by[c]
+                            group_c = group_by[c]
+                            if used[c] + size > cap_c:
+                                # Eviction will read the heap: flush
+                                # the deferred entries first.
+                                pend_c = pend_by[c]
+                                if pend_c:
+                                    for entry in pend_c:
+                                        heappush(heap_c, entry)
+                                    del pend_c[:]
+                            while used[c] + size > cap_c:
+                                # Lazy-heap victim selection: pop stale
+                                # entries, evict the live minimum.
+                                while True:
+                                    top = heap_c[0]
+                                    victim = top[2]
+                                    if pver_c.get(victim) == top[1]:
+                                        break
+                                    heappop(heap_c)
+                                victim_record = docs_c.pop(victim)
+                                used[c] -= victim_record[0]
+                                del acc_c[victim]
+                                del psz_c[victim]
+                                del pfc_c[victim]
+                                del pver_c[victim]
+                                by_group = holders_map.get(victim)
+                                if by_group:
+                                    held = by_group.get(group_c)
+                                    if held is not None:
+                                        held.discard(c)
+                                        if not held:
+                                            del by_group[group_c]
+                                    if not by_group:
+                                        del holders_map[victim]
+                            docs_c[d] = [size, ts, fetched_version]
+                            used[c] += size
+                            acc_c[d] = 1
+                            psz_c[d] = size
+                            # Re-fetch cost is at least a token cost even
+                            # for free fetches (policy on_insert rule).
+                            cost = (
+                                fetch_cost if fetch_cost > 0.01 else 0.01
+                            )
+                            pfc_c[d] = cost
+                            invalidations = pinv_by[c].setdefault(d, 0)
+                            version = pver_c.get(d, 0) + 1
+                            pver_c[d] = version
+                            pend_by[c].append((
+                                1 * cost / (size * (1.0 + invalidations)),
+                                version,
+                                d,
+                            ))
+                            admitted = True
+                    else:
+                        admitted = caches[c].admit(
+                            d, size, fetch_cost, ts, fetched_version
+                        )
+                    if admitted:
+                        by_group = holders_map.get(d)
+                        if by_group is None:
+                            holders_map[d] = by_group = {}
+                        held = by_group.get(group_by[c])
+                        if held is None:
+                            by_group[group_by[c]] = held = set()
+                        held.add(c)
+
+                stale = fetched_version < origin_version[d]
+                if counted:
+                    slot = lat_by[c]
+                    n = slot[0] + 1
+                    slot[0] = n
+                    delta = total - slot[1]
+                    mean = slot[1] + delta / n
+                    slot[1] = mean
+                    slot[2] += delta * (total - mean)
+                    if total < slot[3]:
+                        slot[3] = total
+                    if total > slot[4]:
+                        slot[4] = total
+                    bin_index = int(total / hist_width)
+                    if bin_index >= overflow_bin:
+                        bin_index = overflow_bin
+                    bins[bin_index] += 1
+                    hist_count += 1
+                    hist_sum += total
+                    if total < hist_min:
+                        hist_min = total
+                    if total > hist_max:
+                        hist_max = total
+                    if messages:
+                        m_queries[c] += messages
+                    if stale:
+                        m_stale[c] += 1
+                    if hit:
+                        m_group[c] += 1
+                        m_peer_bytes[c] += size
+                    else:
+                        m_origin[c] += 1
+                        m_origin_bytes[c] += size
+                if sampler is not None:
+                    if hit:
+                        window_group += 1
+                    else:
+                        window_origin += 1
+                    window_totals.append(total)
+                if trace is not None:
+                    trace_buf.append((
+                        ts, c, d, path_value, total, query, fetch,
+                        transfer, messages, size, counted, stale,
+                    ))
+
+            lo = lo_next
+        i = hi
+        if barrier_index >= num_barriers:
+            break
+
+        # ---- barrier event: legacy handler on the shared state ----
+        barrier = barriers[barrier_index]
+        barrier_index += 1
+        barrier_ts = barrier.timestamp_ms
+        if next_tick <= barrier_ts:
+            if window_totals:
+                sampler.observe_batch(
+                    window_local, window_group, window_origin,
+                    window_totals,
+                )
+                window_local = window_group = window_origin = 0
+                window_totals = []
+            while next_tick <= barrier_ts:
+                sampler.flush(next_tick, **sample_gauges(next_tick))
+                next_tick = sampler.next_tick_ms
+        if trace is not None and trace_buf:
+            # The handler may append its own trace record; flush the
+            # buffered request rows first to keep JSONL order exact.
+            trace.record_many([
+                TraceRecord(
+                    kind=KIND_REQUEST, timestamp_ms=row[0],
+                    cache=row[1], doc_id=row[2], path=row[3],
+                    total_ms=row[4], query_ms=row[5], fetch_ms=row[6],
+                    transfer_ms=row[7], messages=row[8],
+                    size_bytes=row[9], counted=row[10], stale=row[11],
+                )
+                for row in trace_buf
+            ])
+            trace_buf = []
+        handlers[type(barrier)](barrier)
+        if type(barrier) is OriginUpdateEvent:
+            origin_version[barrier.doc_id] = origin_version_of(
+                barrier.doc_id
+            )
+
+    # -- postlude ----------------------------------------------------
+    if total_requests:
+        if num_barriers and positions[-1] == total_requests:
+            last_ts = barriers[-1].timestamp_ms
+        else:
+            last_ts = req_ts[-1]
+    elif num_barriers:  # pragma: no cover - workloads require requests
+        last_ts = barriers[-1].timestamp_ms
+    else:  # pragma: no cover - workloads require requests
+        last_ts = 0.0
+
+    if trace is not None and trace_buf:
+        trace.record_many([
+            TraceRecord(
+                kind=KIND_REQUEST, timestamp_ms=row[0], cache=row[1],
+                doc_id=row[2], path=row[3], total_ms=row[4],
+                query_ms=row[5], fetch_ms=row[6], transfer_ms=row[7],
+                messages=row[8], size_bytes=row[9], counted=row[10],
+                stale=row[11],
+            )
+            for row in trace_buf
+        ])
+        trace_buf = []
+    if sampler is not None:
+        if window_totals:
+            sampler.observe_batch(
+                window_local, window_group, window_origin, window_totals
+            )
+        sampler.finalize(last_ts, **sample_gauges(last_ts))
+
+    if util_mode:
+        # Leave the policies' heaps holding every entry (the deferred
+        # buffers are a loop-internal detail, not post-run state).
+        for node in nodes:
+            pend_node = pend_by[node]
+            if pend_node:
+                heap_node = heap_by[node]
+                for entry in pend_node:
+                    heappush(heap_node, entry)
+                del pend_node[:]
+
+    engine._processed_requests = total_requests
+
+    rows = {}
+    for node in nodes:
+        slot = lat_by[node]
+        rows[node] = (
+            slot[0], slot[1], slot[2], slot[3], slot[4],
+            m_local[node], m_group[node], m_origin[node],
+            m_queries[node], m_peer_bytes[node], m_origin_bytes[node],
+            m_stale[node], m_skips[node], m_down[node],
+            m_ptimeout[node],
+        )
+    metrics.absorb_batched(
+        rows,
+        min(warmup, total_requests),
+        (bins, hist_count, hist_sum, hist_min, hist_max),
+    )
+    return total_requests + num_barriers

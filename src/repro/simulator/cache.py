@@ -4,6 +4,13 @@ An edge cache stores document copies up to a byte capacity.  Insertion
 evicts victims (chosen by the replacement policy) until the new
 document fits; documents larger than the whole cache are simply not
 admitted (served pass-through), which matches standard proxy behaviour.
+
+Storage lives in a :class:`repro.simulator.state.CacheStore` — a
+struct-of-records table shared by every cache of a run — and the
+``EdgeCache`` is a thin per-node view over it.  The legacy event loops
+drive caches through the methods below; the batched loop mutates the
+same store records directly (see :mod:`repro.simulator.batched`), so
+both worlds observe identical state through this one API.
 """
 
 from __future__ import annotations
@@ -13,12 +20,22 @@ from typing import Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.simulator.replacement import ReplacementPolicy
+from repro.simulator.state import (
+    REC_SIZE,
+    REC_STORED_AT,
+    REC_VERSION,
+    CacheStore,
+)
 from repro.types import DocumentId, NodeId
 
 
 @dataclass
 class CachedDocument:
-    """One stored copy: size plus bookkeeping for metrics/consistency."""
+    """One stored copy: size plus bookkeeping for metrics/consistency.
+
+    A transient snapshot of the underlying store record — read it, don't
+    mutate it (mutations would not reach the store).
+    """
 
     doc_id: DocumentId
     size_bytes: int
@@ -35,19 +52,18 @@ class EdgeCache:
         capacity_bytes: int,
         policy: ReplacementPolicy,
         on_evict: Optional[Callable[[NodeId, DocumentId], None]] = None,
+        store: Optional[CacheStore] = None,
     ) -> None:
-        if capacity_bytes <= 0:
-            raise SimulationError(
-                f"cache {node} capacity must be > 0, got {capacity_bytes}"
-            )
         self._node = node
-        self._capacity = capacity_bytes
         self._policy = policy
-        self._store: Dict[DocumentId, CachedDocument] = {}
-        self._used = 0
         # Callback lets the group directory track copies without the
         # cache knowing about groups.
         self._on_evict = on_evict
+        self._state = store if store is not None else CacheStore()
+        self._state.register(node, capacity_bytes)
+        self._capacity = capacity_bytes
+        # Bound alias of this node's record table — the hot-path handle.
+        self._docs: Dict[DocumentId, List] = self._state.docs[node]
 
     # -- inspection ----------------------------------------------------
 
@@ -61,25 +77,41 @@ class EdgeCache:
 
     @property
     def used_bytes(self) -> int:
-        return self._used
+        return self._state.used[self._node]
 
     @property
     def document_count(self) -> int:
-        return len(self._store)
+        return len(self._docs)
+
+    @property
+    def policy(self) -> ReplacementPolicy:
+        """The replacement policy driving this cache's evictions."""
+        return self._policy
+
+    @property
+    def store(self) -> CacheStore:
+        """The shared columnar store this cache is a view over."""
+        return self._state
 
     def holds(self, doc_id: DocumentId) -> bool:
-        return doc_id in self._store
+        return doc_id in self._docs
 
     def entry(self, doc_id: DocumentId) -> CachedDocument:
         try:
-            return self._store[doc_id]
+            record = self._docs[doc_id]
         except KeyError:
             raise SimulationError(
                 f"cache {self._node} does not hold doc {doc_id}"
             ) from None
+        return CachedDocument(
+            doc_id=doc_id,
+            size_bytes=record[REC_SIZE],
+            stored_at_ms=record[REC_STORED_AT],
+            version=record[REC_VERSION],
+        )
 
     def stored_ids(self) -> List[DocumentId]:
-        return list(self._store)
+        return list(self._docs)
 
     # -- operations ----------------------------------------------------
 
@@ -107,24 +139,21 @@ class EdgeCache:
             raise SimulationError(
                 f"cannot admit doc {doc_id} with size {size_bytes}"
             )
-        if doc_id in self._store:
-            entry = self._store[doc_id]
-            entry.version = version
-            entry.stored_at_ms = now_ms
+        record = self._docs.get(doc_id)
+        if record is not None:
+            record[REC_VERSION] = version
+            record[REC_STORED_AT] = now_ms
             self._policy.on_access(doc_id, now_ms)
             return True
         if size_bytes > self._capacity:
             return False
-        while self._used + size_bytes > self._capacity:
+        used = self._state.used
+        node = self._node
+        while used[node] + size_bytes > self._capacity:
             victim = self._policy.select_victim()
             self._remove(victim, invalidated=False)
-        self._store[doc_id] = CachedDocument(
-            doc_id=doc_id,
-            size_bytes=size_bytes,
-            stored_at_ms=now_ms,
-            version=version,
-        )
-        self._used += size_bytes
+        self._docs[doc_id] = [size_bytes, now_ms, version]
+        used[node] += size_bytes
         self._policy.on_insert(doc_id, size_bytes, fetch_cost_ms, now_ms)
         return True
 
@@ -135,7 +164,7 @@ class EdgeCache:
         carries no signal about the document's update rate, so the
         replacement policy is not notified of an invalidation.
         """
-        if doc_id not in self._store:
+        if doc_id not in self._docs:
             return False
         self._remove(doc_id, invalidated=False)
         return True
@@ -147,16 +176,17 @@ class EdgeCache:
         invalidation feedback first so utility-based replacement learns
         the document's update rate.
         """
-        if doc_id not in self._store:
+        if doc_id not in self._docs:
             return False
         self._policy.on_invalidation_feedback(doc_id)
         self._remove(doc_id, invalidated=True)
         return True
 
     def _remove(self, doc_id: DocumentId, invalidated: bool) -> None:
-        entry = self._store.pop(doc_id)
-        self._used -= entry.size_bytes
-        if self._used < 0:
+        record = self._docs.pop(doc_id)
+        used = self._state.used
+        used[self._node] -= record[REC_SIZE]
+        if used[self._node] < 0:
             raise SimulationError(
                 f"cache {self._node} accounting went negative"
             )

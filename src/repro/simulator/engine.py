@@ -9,7 +9,9 @@ per-event control flow.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+import numpy as np
 
 from repro.config import SimulationConfig
 from repro.core.groups import GroupingResult
@@ -17,15 +19,19 @@ from repro.errors import SimulationError
 from repro.faults.schedule import FaultSchedule
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.obs.profiling import perf_seconds
+from repro.simulator.batched import run_batched
 from repro.simulator.cache import EdgeCache
 from repro.simulator.events import (
     CacheFailEvent,
     CacheRecoverEvent,
+    Event,
+    EventColumns,
     EventQueue,
     OriginUpdateEvent,
     PartitionEndEvent,
     PartitionStartEvent,
     RequestEvent,
+    columns_from_arrays,
 )
 from repro.simulator.group_proto import GroupProtocol, LookupOutcome
 from repro.simulator.latency import LatencyModel
@@ -33,9 +39,17 @@ from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.origin import OriginServer
 from repro.simulator.origin_load import OriginLoadTracker
 from repro.simulator.replacement import make_policy
+from repro.simulator.state import CacheStore
 from repro.topology.network import EdgeCacheNetwork
 from repro.types import NodeId
 from repro.workload.ibm_synthetic import Workload
+
+#: Event loop used when the caller passes ``event_loop=None``.  The
+#: batched loop (:mod:`repro.simulator.batched`) is bit-identical to
+#: ``"sorted"`` on every metric, trace, and figure — pinned by the
+#: loop-equivalence tests — so it is safe as the default; tests
+#: monkeypatch this constant to pit the loops against each other.
+DEFAULT_EVENT_LOOP = "batched"
 
 #: Cumulative events processed by every engine run in this process.
 #: Updated once per completed run (never inside the hot loop), it lets
@@ -65,13 +79,15 @@ class SimulationEngine:
         group_protocol_mode: str = "beacon",
         failures: Sequence[Union[CacheFailEvent, CacheRecoverEvent]] = (),
         observer: Optional[Observer] = None,
-        event_loop: str = "sorted",
+        event_loop: Optional[str] = None,
         faults: Optional[FaultSchedule] = None,
     ) -> None:
-        if event_loop not in ("sorted", "heap"):
+        if event_loop is None:
+            event_loop = DEFAULT_EVENT_LOOP
+        if event_loop not in ("sorted", "heap", "batched"):
             raise SimulationError(
                 f"unknown event loop {event_loop!r} "
-                f"(expected 'sorted' or 'heap')"
+                f"(expected 'sorted', 'heap', or 'batched')"
             )
         self._event_loop = event_loop
         self._config = config or SimulationConfig()
@@ -129,32 +145,60 @@ class SimulationEngine:
                 * workload.catalog.total_bytes
             ),
         )
+        # One struct-of-records store shared by every cache of the run
+        # (the batched loop drives its records directly; the per-node
+        # EdgeCache objects are thin views).
+        self._store = CacheStore()
         self._caches: Dict[NodeId, EdgeCache] = {
             node: EdgeCache(
                 node=node,
                 capacity_bytes=capacity,
                 policy=make_policy(self._config.cache.replacement_policy),
                 on_evict=self._protocol.drop_copy,
+                store=self._store,
             )
             for node in network.cache_nodes
         }
 
         self._events = EventQueue()
-        for request in workload.requests:
-            if request.cache_node not in self._caches:
-                raise SimulationError(
-                    f"request targets cache {request.cache_node} which is "
-                    f"not in the network"
+        self._columns: Optional[EventColumns] = None
+        self._columns_consumed = False
+        if event_loop == "batched":
+            # Columnar request stream: no RequestEvent objects at all.
+            # The membership check matches the legacy per-push check,
+            # reporting the first offender in workload order.
+            req_ts, req_cache, req_doc = workload.request_columns()
+            if req_cache.size:
+                member = np.isin(
+                    req_cache,
+                    np.fromiter(self._caches, dtype=np.int64),
                 )
-            self._events.push(
-                RequestEvent(
-                    timestamp_ms=request.timestamp_ms,
-                    cache_node=request.cache_node,
-                    doc_id=request.doc_id,
+                if not member.all():
+                    bad = int(req_cache[int(np.argmax(~member))])
+                    raise SimulationError(
+                        f"request targets cache {bad} which is "
+                        f"not in the network"
+                    )
+        else:
+            for request in workload.requests:
+                if request.cache_node not in self._caches:
+                    raise SimulationError(
+                        f"request targets cache {request.cache_node} "
+                        f"which is not in the network"
+                    )
+                self._events.push(
+                    RequestEvent(
+                        timestamp_ms=request.timestamp_ms,
+                        cache_node=request.cache_node,
+                        doc_id=request.doc_id,
+                    )
                 )
-            )
+        # Barrier events, in legacy push order (updates, failures,
+        # faults) so the columns' stable timestamp sort reproduces the
+        # queue's insertion-sequence tie-break.
+        barrier_events: List[Event] = []
         for update in workload.updates:
-            self._events.push(
+            barrier_events.append(
                 OriginUpdateEvent(
                     timestamp_ms=update.timestamp_ms, doc_id=update.doc_id
                 )
@@ -165,7 +209,7 @@ class SimulationEngine:
                     f"failure event targets unknown cache "
                     f"{failure.cache_node}"
                 )
-            self._events.push(failure)
+            barrier_events.append(failure)
         if faults is not None:
             for fault_event in faults.events():
                 if isinstance(
@@ -185,7 +229,14 @@ class SimulationEngine:
                         f"fault schedule targets unknown cache "
                         f"{fault_event.cache_node}"
                     )
-                self._events.push(fault_event)
+                barrier_events.append(fault_event)
+        if event_loop == "batched":
+            self._columns = columns_from_arrays(
+                req_ts, req_cache, req_doc, barrier_events
+            )
+        else:
+            for event in barrier_events:
+                self._events.push(event)
 
         total_requests = len(workload.requests)
         self._warmup_remaining = int(
@@ -229,20 +280,40 @@ class SimulationEngine:
     def run(self) -> SimulationMetrics:
         """Process every event; returns the collected metrics.
 
-        The default ``"sorted"`` fast path pre-merges the request,
-        update, and failure streams into one timestamp-sorted array —
-        valid because every event is known up front and nothing is ever
+        The default ``"batched"`` path (see :mod:`repro.simulator.
+        batched`) runs the columnar slice kernel — no event objects for
+        requests at all.  ``"sorted"`` pre-merges the request, update,
+        and failure streams into one timestamp-sorted array — valid
+        because every event is known up front and nothing is ever
         scheduled into the future — and dispatches through the per-type
-        handler table.  The ``"heap"`` path keeps the classic per-event
-        ``heapq`` pop; both orders are identical by construction
-        (regression-tested), the heap path exists as the measurement
-        baseline and paranoia fallback.
+        handler table.  ``"heap"`` keeps the classic per-event ``heapq``
+        pop.  All three orders are identical by construction
+        (regression-tested bit-for-bit); the legacy paths remain as the
+        measurement baseline and paranoia fallback.
         """
-        sampler = self._observer.sampler if self._instrumented else None
-        handlers = self._handlers
         # Wall clock is profiling-only here: it feeds throughput
         # reporting, never event timestamps or simulated behaviour.
         started = perf_seconds()
+        if self._event_loop == "batched":
+            events_processed = run_batched(self)
+        else:
+            events_processed = self._run_event_objects()
+        global _EVENTS_TOTAL
+        _EVENTS_TOTAL += events_processed
+        if self._observer is not NULL_OBSERVER:
+            # Any caller-supplied observer gets throughput numbers, even
+            # one with no per-request instruments (manifest-only runs).
+            self._observer.note_throughput(
+                events_processed, perf_seconds() - started
+            )
+        if not self._metrics.conservation_holds():
+            raise SimulationError("request conservation violated")
+        return self._metrics
+
+    def _run_event_objects(self) -> int:
+        """The legacy per-event-object loops ("sorted" and "heap")."""
+        sampler = self._observer.sampler if self._instrumented else None
+        handlers = self._handlers
         events_processed = 0
         now = 0.0
         if self._event_loop == "sorted":
@@ -265,17 +336,7 @@ class SimulationEngine:
             handler(event)
         if sampler is not None:
             sampler.finalize(now, **self._sample_gauges(now))
-        global _EVENTS_TOTAL
-        _EVENTS_TOTAL += events_processed
-        if self._observer is not NULL_OBSERVER:
-            # Any caller-supplied observer gets throughput numbers, even
-            # one with no per-request instruments (manifest-only runs).
-            self._observer.note_throughput(
-                events_processed, perf_seconds() - started
-            )
-        if not self._metrics.conservation_holds():
-            raise SimulationError("request conservation violated")
-        return self._metrics
+        return events_processed
 
     def _heap_order(self):
         """Yield events via per-event heap pops (the legacy loop body)."""

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.types import DocumentId, NodeId
@@ -176,3 +178,132 @@ class EventQueue:
         if self._last_popped_ms == -float("inf"):
             return 0.0
         return self._last_popped_ms
+
+
+@dataclass(frozen=True)
+class EventColumns:
+    """The merged event stream in columnar form (batched loop input).
+
+    Requests — by far the bulk of any workload — live as three parallel
+    numpy columns sorted by timestamp (stable, so ties keep workload
+    order, exactly like the queue's insertion-sequence tie-break).
+    The rare *barrier* events (origin updates, cache failures and
+    recoveries, partition edges — everything with priority 0) stay as
+    ordinary event objects, sorted stably by timestamp in push order.
+
+    ``barrier_positions[i]`` is the index of the first request that
+    must be processed *after* barrier ``i``: barriers carry priority 0
+    and requests priority 1, so at an equal timestamp the barrier goes
+    first, which is exactly ``searchsorted(..., side="left")``.  The
+    requests between two consecutive barrier positions form one
+    *causality-safe slice*: no cache fails, no partition moves, and no
+    origin version changes inside it.
+    """
+
+    req_timestamps: np.ndarray
+    req_caches: np.ndarray
+    req_docs: np.ndarray
+    barriers: Tuple[Event, ...]
+    barrier_positions: np.ndarray
+
+    @property
+    def num_requests(self) -> int:
+        return int(self.req_timestamps.size)
+
+    @property
+    def num_events(self) -> int:
+        return self.num_requests + len(self.barriers)
+
+
+def build_event_columns(
+    requests: Sequence[Any],
+    barrier_events: Sequence[Event],
+) -> EventColumns:
+    """Lower request records plus barrier events to :class:`EventColumns`.
+
+    ``requests`` is the workload's request log (records with
+    ``timestamp_ms``/``cache_node``/``doc_id``, already validated
+    non-negative); ``barrier_events`` must be given in the same order
+    the legacy loop would have pushed them, so the stable timestamp
+    sort reproduces the queue's insertion-sequence tie-break.
+    """
+    req_ts = np.asarray(
+        [r.timestamp_ms for r in requests], dtype=np.float64
+    )
+    req_cache = np.asarray(
+        [r.cache_node for r in requests], dtype=np.int64
+    )
+    req_doc = np.asarray([r.doc_id for r in requests], dtype=np.int64)
+    return columns_from_arrays(req_ts, req_cache, req_doc, barrier_events)
+
+
+def columns_from_arrays(
+    req_ts: np.ndarray,
+    req_cache: np.ndarray,
+    req_doc: np.ndarray,
+    barrier_events: Sequence[Event],
+) -> EventColumns:
+    """Assemble :class:`EventColumns` from pre-extracted request columns."""
+    if not (req_ts.size == req_cache.size == req_doc.size):
+        raise SimulationError(
+            "request columns disagree on length: "
+            f"{req_ts.size}/{req_cache.size}/{req_doc.size}"
+        )
+    # Workloads are generated time-sorted; only re-order when a caller
+    # hands us a shuffled log (kind="stable" keeps ties in log order,
+    # matching the queue's insertion-sequence tie-break).
+    if req_ts.size and np.any(np.diff(req_ts) < 0):
+        order = np.argsort(req_ts, kind="stable")
+        req_ts = req_ts[order]
+        req_cache = req_cache[order]
+        req_doc = req_doc[order]
+    for event in barrier_events:
+        if event.timestamp_ms < 0:
+            raise SimulationError(
+                f"event timestamp must be >= 0, got {event.timestamp_ms}"
+            )
+        if event.priority != 0:
+            raise SimulationError(
+                f"barrier events must have priority 0, got {event!r}"
+            )
+    barriers = tuple(
+        sorted(barrier_events, key=lambda e: e.timestamp_ms)
+    )
+    positions = np.searchsorted(
+        req_ts,
+        np.asarray([b.timestamp_ms for b in barriers], dtype=np.float64),
+        side="left",
+    ).astype(np.int64)
+    return EventColumns(
+        req_timestamps=req_ts,
+        req_caches=req_cache,
+        req_docs=req_doc,
+        barriers=barriers,
+        barrier_positions=positions,
+    )
+
+
+#: The event-stream ledger hook installed by ``repro.sanitize``
+#: (duck-typed: ``record_stream(pairs)`` with ``(type_name,
+#: timestamp_ms)`` pairs in merged event order).  The batched loop has
+#: no per-event queue pops to patch, so it feeds the draw ledger
+#: through this hook instead; None — the overwhelmingly common case —
+#: costs one global read per run, and this module never imports the
+#: sanitizer.
+_COLUMN_LEDGER: Optional[Any] = None
+
+
+def set_column_ledger(hook: Optional[Any]) -> Optional[Any]:
+    """Install (or clear, with None) the column-stream ledger hook.
+
+    Returns the previously-installed hook so callers can restore it.
+    """
+    global _COLUMN_LEDGER
+    previous = _COLUMN_LEDGER
+    _COLUMN_LEDGER = hook
+    return previous
+
+
+def column_ledger() -> Optional[Any]:
+    """The currently-installed column-stream ledger hook, if any."""
+    return _COLUMN_LEDGER

@@ -121,6 +121,51 @@ class SimulationMetrics:
         self._stats(cache).invalidations_received += 1
         self._invalidation_messages += 1
 
+    def absorb_batched(
+        self,
+        rows: Dict[NodeId, tuple],
+        warmup_skipped: int,
+        hist_state: tuple,
+    ) -> None:
+        """Fold the batched event loop's accumulated counters in.
+
+        The batched loop (:mod:`repro.simulator.batched`) accumulates
+        per-cache counters and latency moments in flat slots — running
+        the exact same arithmetic :meth:`record_request` would, in the
+        same order — and folds them in here once at end of run.  Each
+        row is ``(lat_count, lat_mean, lat_m2, lat_min, lat_max,
+        local_hits, group_hits, origin_fetches, query_messages,
+        peer_bytes, origin_bytes, stale_serves, placement_skips,
+        requests_while_down, partition_timeouts)``; ``hist_state`` is
+        the global latency histogram's
+        :meth:`~repro.utils.stats.FixedBinHistogram.restore` payload.
+        Counter fields add onto whatever is already recorded (the
+        invalidation counters are maintained live at update barriers),
+        but the latency accumulators must still be pristine.
+        """
+        for node, row in rows.items():
+            stats = self._stats(node)
+            (
+                lat_count, lat_mean, lat_m2, lat_min, lat_max,
+                local, group, origin, qmsgs, peer_bytes, origin_bytes,
+                stale, skips, down, ptimeouts,
+            ) = row
+            stats.latency.restore(
+                lat_count, lat_mean, lat_m2, lat_min, lat_max
+            )
+            stats.local_hits += local
+            stats.group_hits += group
+            stats.origin_fetches += origin
+            stats.query_messages += qmsgs
+            stats.peer_bytes += peer_bytes
+            stats.origin_bytes += origin_bytes
+            stats.stale_serves += stale
+            stats.placement_skips += skips
+            stats.requests_while_down += down
+            stats.partition_timeouts += ptimeouts
+        self._warmup_skipped += warmup_skipped
+        self._latency_hist.restore(*hist_state)
+
     # -- aggregates -------------------------------------------------------
 
     @property

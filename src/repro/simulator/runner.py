@@ -94,10 +94,15 @@ def simulate(
     group_protocol_mode: str = "beacon",
     failures: Sequence = (),
     observer: Optional[Observer] = None,
-    event_loop: str = "sorted",
+    event_loop: Optional[str] = None,
     faults: Optional["FaultSchedule"] = None,
 ) -> SimulationResult:
     """Run the cooperative edge cache network simulation to completion.
+
+    ``event_loop=None`` resolves to
+    :data:`repro.simulator.engine.DEFAULT_EVENT_LOOP` (the batched
+    columnar loop); pass ``"sorted"`` or ``"heap"`` for the legacy
+    per-event-object loops.
 
     >>> from repro.topology import build_network
     >>> from repro.core.groups import singleton_groups

@@ -78,6 +78,33 @@ class OnlineStats:
         self._min = other._min
         self._max = other._max
 
+    def restore(
+        self,
+        count: int,
+        mean: float,
+        m2: float,
+        minimum: float,
+        maximum: float,
+    ) -> None:
+        """Overwrite the accumulator with externally-computed moments.
+
+        The batched event loop runs Welford's recurrence inline on raw
+        slots (same operations, same order as :meth:`add`) and loads
+        the result here in one call; the accumulator must be empty so a
+        partial stream can never be silently clobbered.
+        """
+        if self._count != 0:
+            raise ValueError("restore() target must be empty")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        self._count = count
+        self._mean = mean
+        self._m2 = m2
+        self._min = minimum
+        self._max = maximum
+
     @property
     def count(self) -> int:
         return self._count
@@ -227,6 +254,48 @@ class FixedBinHistogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+
+    def restore(
+        self,
+        counts: Sequence[int],
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+    ) -> None:
+        """Overwrite the histogram with externally-binned counts.
+
+        Counterpart of :meth:`OnlineStats.restore` for the batched
+        event loop, which bins into a plain list with the same
+        ``int(value / width)`` rule and loads the result here; the
+        histogram must be empty, and ``counts`` must cover every bin
+        including the overflow bin.
+        """
+        if self._count != 0:
+            raise ValueError("restore() target must be empty")
+        if len(counts) != self._counts.size:
+            raise ValueError(
+                f"expected {self._counts.size} bins, got {len(counts)}"
+            )
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        self._counts[:] = np.asarray(counts, dtype=np.int64)
+        self._count = count
+        self._sum = total
+        self._min = minimum
+        self._max = maximum
+
+    @property
+    def bin_width(self) -> float:
+        """Width of one bin (the batched loop mirrors the binning rule)."""
+        return self._width
+
+    @property
+    def num_bins(self) -> int:
+        """Total bin count including the overflow bin."""
+        return int(self._counts.size)
 
     def merge(self, other: "FixedBinHistogram") -> None:
         """Fold another histogram of identical shape into this one."""

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.config import WorkloadConfig
 from repro.errors import WorkloadError
 from repro.types import NodeId
@@ -72,6 +74,33 @@ class Workload:
     def requests_of(self, cache: NodeId) -> List[RequestRecord]:
         """The request stream arriving at one cache."""
         return [r for r in self.requests if r.cache_node == cache]
+
+    def request_columns(self):
+        """Request log as ``(timestamps, cache_nodes, doc_ids)`` arrays.
+
+        Columnar float64/int64/int64 views in log order, extracted once
+        and memoised on the instance (the object is frozen but the memo
+        is not a field, so equality and hashing are unaffected): the
+        batched event loop consumes columns, and re-extracting them
+        from a million request records on every run would dominate its
+        setup cost.
+        """
+        cached = self.__dict__.get("_request_columns")
+        if cached is None:
+            cached = (
+                np.asarray(
+                    [r.timestamp_ms for r in self.requests],
+                    dtype=np.float64,
+                ),
+                np.asarray(
+                    [r.cache_node for r in self.requests], dtype=np.int64
+                ),
+                np.asarray(
+                    [r.doc_id for r in self.requests], dtype=np.int64
+                ),
+            )
+            object.__setattr__(self, "_request_columns", cached)
+        return cached
 
     def save(self, request_path: PathLike, update_path: PathLike) -> None:
         """Write both logs to disk (catalog is regenerable from config)."""
