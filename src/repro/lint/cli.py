@@ -3,6 +3,15 @@
 Exit codes: ``0`` — clean (no findings outside the baseline); ``1`` —
 new findings; ``2`` — usage error (missing path or baseline).
 
+``repro lint effects [PATHS] [--function QUALNAME] [--format json]``
+dumps the whole-program effect table (see :mod:`repro.lint.effects`)
+instead of gating: every function's effect class, reads/writes/IO,
+entry-point flags, and the effect-rule findings with their call
+chains.  It always exits 0 — the gate is the regular ``repro lint``
+run, which includes the same four rules.  The JSON output is
+deterministic (sorted keys, canonical ordering) so CI can diff it as
+an artifact.
+
 ``--update-baseline`` rewrites the baseline and exits 0: the ratchet
 workflow is *fix what you can, then re-baseline the remainder
 deliberately* (the diff shows what was grandfathered, so it is
@@ -15,9 +24,10 @@ the linted paths, and prunes entries whose file no longer exists — see
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional, TextIO, Tuple
+from typing import Dict, List, Optional, TextIO, Tuple, cast
 
 from repro.lint.baseline import Baseline
 from repro.lint.checkers import rule_catalog
@@ -33,7 +43,14 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     """Attach the ``lint`` arguments to an (sub)parser."""
     parser.add_argument(
         "paths", nargs="*", default=["src"],
-        help="files or directories to lint (default: src)",
+        help="files or directories to lint (default: src); the first "
+             "path may be the literal 'effects' to dump the effect "
+             "table instead of gating",
+    )
+    parser.add_argument(
+        "--function", metavar="QUALNAME", dest="effects_function",
+        help="effects mode: restrict the table to one function "
+             "(module:qualname, qualname, or bare name)",
     )
     parser.add_argument(
         "--format", choices=["text", "json"], default="text",
@@ -97,6 +114,9 @@ def run_lint(
             print(f"{rule_id.ljust(width)}  {catalog[rule_id]}", file=out)
         return 0
 
+    if args.paths and args.paths[0] == "effects":
+        return run_effects(args, out, err)
+
     baseline, baseline_path, code = _resolve_baseline(args, err)
     if code != 0:
         return code
@@ -131,3 +151,109 @@ def run_lint(
     else:
         print(render_text(report, verbose=args.verbose), file=out)
     return 0 if report.clean else 1
+
+
+def run_effects(
+    args: argparse.Namespace, out: TextIO, err: TextIO
+) -> int:
+    """Execute ``repro lint effects ...``; always 0 unless usage error."""
+    # Imported here so plain lint runs never pay for the effect pass
+    # twice and ``--no-project`` stays meaningful.
+    from repro.lint.effects import analyze, effect_findings, effect_report
+    from repro.lint.findings import Finding
+    from repro.lint.project import ProjectModel
+    from repro.lint.runner import display_path, iter_python_files
+    from repro.lint.source import SourceFile
+
+    raw_paths = args.paths[1:] or ["src"]
+    try:
+        files = list(iter_python_files([Path(p) for p in raw_paths]))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=err)
+        return 2
+    sources = [
+        SourceFile(display_path(file), file.read_text(encoding="utf-8"))
+        for file in files
+    ]
+    model = ProjectModel.build(sources)
+    analysis = analyze(model)
+    by_path = {s.display_path: s for s in sources}
+    findings: List[Finding] = []
+    for finding in effect_findings(analysis):
+        anchor = by_path.get(finding.path)
+        if anchor is None or not anchor.is_suppressed(
+            finding.rule_id, finding.line
+        ):
+            findings.append(finding)
+    payload = effect_report(analysis, findings,
+                            function=args.effects_function)
+    if args.output_format == "json":
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return 0
+    _render_effects_text(payload, out, full=args.effects_function
+                         is not None or args.verbose)
+    return 0
+
+
+def _render_effects_text(
+    payload: Dict[str, object], out: TextIO, full: bool
+) -> None:
+    functions = cast(List[Dict[str, object]], payload["functions"])
+    globals_rows = cast(List[Dict[str, object]], payload["globals"])
+    entries = cast(Dict[str, List[object]], payload["entry_points"])
+    findings = cast(List[Dict[str, object]], payload["findings"])
+    print(
+        f"{len(functions)} functions analysed, "
+        f"{len(globals_rows)} tracked globals, "
+        f"{len(entries['tasks'])} task entries, "
+        f"{len(entries['cache_builders'])} cache builders, "
+        f"{len(entries['event_handlers'])} event handlers",
+        file=out,
+    )
+    shown = 0
+    for row in functions:
+        flags = [
+            flag for flag in ("task_entry", "task_reachable",
+                              "cache_builder", "event_handler")
+            if row[flag]
+        ]
+        interesting = row["effect"] != "pure" or flags
+        if not (full or interesting):
+            continue
+        shown += 1
+        detail = "".join(
+            f" {label}={','.join(cast(List[str], row[field_name]))}"
+            for label, field_name in (("reads", "reads"),
+                                      ("writes", "writes"),
+                                      ("io", "io"))
+            if row[field_name]
+        )
+        suffix = f"  [{' '.join(flags)}]" if flags else ""
+        print(
+            f"  {row['function']}  ({row['effect']}){detail}{suffix}",
+            file=out,
+        )
+    hidden = len(functions) - shown
+    if hidden > 0:
+        print(f"  ... and {hidden} pure, unflagged functions "
+              f"(--verbose shows all)", file=out)
+    if globals_rows:
+        print("tracked globals:", file=out)
+        for grow in globals_rows:
+            merge = grow["merge_back"]
+            note = f" merge-back: {merge}" if merge else ""
+            print(
+                f"  {grow['global']}  ({grow['kind']}, "
+                f"{grow['path']}:{grow['line']}){note}",
+                file=out,
+            )
+    if findings:
+        print(f"{len(findings)} effect finding(s):", file=out)
+        for item in findings:
+            print(
+                f"  {item['path']}:{item['line']}: {item['rule']}: "
+                f"{item['message']}",
+                file=out,
+            )
+    else:
+        print("no effect findings", file=out)

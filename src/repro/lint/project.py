@@ -15,8 +15,13 @@ module-level call graph:
 * every ``def`` (and each module's top-level code, as the pseudo
   function ``<module>``) becomes a node keyed ``module:qualname``;
 * call edges are resolved through import aliases (including re-exports
-  through package ``__init__`` modules), module-local names, and
-  ``self.method()`` / ``cls.method()`` within a class.
+  through package ``__init__`` modules), module-local names,
+  ``self.method()`` / ``cls.method()`` within a class, and method calls
+  on locals whose constructor is visible in the same scope
+  (``engine = SimulationEngine(...); engine.run()`` resolves to
+  ``SimulationEngine.run`` — a heuristic: rebinding the name to a
+  non-constructor value poisons the entry, but duck-typed reuse of the
+  name across branches is not modelled).
 
 Three inter-procedural rules run over the graph:
 
@@ -152,6 +157,11 @@ class ModuleInfo:
     classes: Set[str] = field(default_factory=set)
     raw_calls: List[_RawCall] = field(default_factory=list)
     stream_calls: List[StreamCall] = field(default_factory=list)
+    #: ``(owner key, local name) -> constructor func expr`` for locals
+    #: assigned from a call; ``None`` marks a poisoned (rebound) entry.
+    var_ctors: Dict[Tuple[str, str], Optional[ast.expr]] = field(
+        default_factory=dict
+    )
 
 
 def module_name_for(display_path: str) -> str:
@@ -272,9 +282,22 @@ class _ModuleVisitor:
             return
         if isinstance(node, ast.Call):
             self._record_call(node, owner, enclosing_class)
+        if isinstance(node, ast.Assign):
+            self._record_var_types(node, owner)
         for child_node in ast.iter_child_nodes(node):
             self._visit(child_node, scope, owner, enclosing_class,
                         in_function)
+
+    def _record_var_types(self, node: ast.Assign, owner: FunctionNode) -> None:
+        """Track ``name = Constructor(...)`` so ``name.method()`` resolves."""
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            slot = (owner.key, target.id)
+            if isinstance(node.value, ast.Call):
+                self._info.var_ctors[slot] = node.value.func
+            elif slot in self._info.var_ctors:
+                self._info.var_ctors[slot] = None  # rebound: poisoned
 
     def _record_call(
         self,
@@ -392,6 +415,27 @@ class ProjectModel:
             key = info.functions.get(qualname)
             if key is not None:
                 return CallEdge(target=key, line=line, internal=True)
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            ctor = info.var_ctors.get((raw.owner, func.value.id))
+            if ctor is not None:
+                key = self._lookup_ctor_method(info, ctor, func.attr)
+                if key is not None:
+                    return CallEdge(target=key, line=line, internal=True)
+        return None
+
+    def _lookup_ctor_method(
+        self, info: ModuleInfo, ctor: ast.expr, method: str
+    ) -> Optional[str]:
+        """Key of ``Class.method`` for a tracked constructor expression."""
+        resolved = info.source.resolve(ctor)
+        if resolved is not None and (
+            resolved == "repro" or resolved.startswith("repro.")
+        ):
+            return self._lookup_internal(f"{resolved}.{method}")
+        if isinstance(ctor, ast.Name) and ctor.id in info.classes:
+            return info.functions.get(f"{ctor.id}.{method}")
         return None
 
     def _lookup_local(self, info: ModuleInfo, name: str) -> Optional[str]:
@@ -650,11 +694,16 @@ def run_project_passes(
     Findings are anchored at definitions/call sites in the analysed
     files, so the usual pragma rules apply at the anchor line.
     """
+    # Imported lazily: effects builds on this module, so a top-level
+    # import would be circular.
+    from repro.lint.effects import analyze, effect_findings
+
     model = ProjectModel.build(sources)
     raw: List[Finding] = [
         *check_transitive_wallclock(model),
         *check_transitive_rng(model),
         *check_stream_labels(model),
+        *effect_findings(analyze(model)),
     ]
     by_path = {s.display_path: s for s in sources}
     kept: List[Finding] = []
@@ -672,4 +721,9 @@ def run_project_passes(
 
 def project_rule_catalog() -> Dict[str, str]:
     """``rule id -> summary`` for the cross-module rules."""
-    return {rule.rule_id: rule.summary for rule in PROJECT_RULES}
+    from repro.lint.effects import effect_rule_catalog
+
+    return {
+        **{rule.rule_id: rule.summary for rule in PROJECT_RULES},
+        **effect_rule_catalog(),
+    }

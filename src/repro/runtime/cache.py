@@ -217,7 +217,7 @@ def configure_cache(
 
 def reset_cache() -> TestbedCache:
     """Replace the process-wide cache with a fresh, disk-less one."""
-    global _DEFAULT
+    global _DEFAULT  # noqa: PLW0603 - test/CLI-only swap of the process cache
     _DEFAULT = TestbedCache()
     return _DEFAULT
 

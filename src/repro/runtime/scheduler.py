@@ -40,10 +40,13 @@ from repro.obs.profiling import PhaseRegistry, activate, current_registry, perf_
 from repro.runtime.cache import get_cache, stats_delta
 
 #: A task's remote outcome: (value, phase totals, cache counter delta,
-#: draw-ledger segment or None, perf record or None).
+#: draw-ledger segment or None, perf record or None, engine event-count
+#: delta).  The event delta is always measured — the parent folds it
+#: back into the engine's cumulative counter so ``events_total()`` after
+#: a parallel map matches a serial run.
 TaskOutcome = Tuple[
     Any, Dict[str, float], Dict[str, int], Optional[Dict[str, Any]],
-    Optional[Dict[str, float]],
+    Optional[Dict[str, float]], int,
 ]
 
 #: The draw-ledger hook installed by ``repro.sanitize`` (duck-typed:
@@ -58,7 +61,7 @@ def set_task_ledger(hook: Optional[Any]) -> Optional[Any]:
 
     Returns the previously-installed hook so callers can restore it.
     """
-    global _TASK_LEDGER
+    global _TASK_LEDGER  # noqa: PLW0603 - parent-installed hook slot
     previous = _TASK_LEDGER
     _TASK_LEDGER = hook
     return previous
@@ -82,7 +85,7 @@ def set_perf_hook(hook: Optional[Any]) -> Optional[Any]:
 
     Returns the previously-installed hook so callers can restore it.
     """
-    global _PERF_HOOK
+    global _PERF_HOOK  # noqa: PLW0603 - parent-installed hook slot
     previous = _PERF_HOOK
     _PERF_HOOK = hook
     return previous
@@ -107,6 +110,24 @@ def _events_total() -> int:
     return int(module.events_total())
 
 
+def _absorb_events(count: int) -> None:
+    """Fold a worker's event delta into the parent engine counter.
+
+    The import stays lazy for the same layering reason as
+    :func:`_events_total` — but a non-zero delta proves a worker *did*
+    simulate, so materialising the engine module here never makes a
+    non-simulating run pay for it.
+    """
+    if count <= 0:
+        return
+    module = sys.modules.get("repro.simulator.engine")
+    if module is None:
+        import importlib
+
+        module = importlib.import_module("repro.simulator.engine")
+    module.absorb_events(count)
+
+
 def run_task(
     payload: Tuple[Callable[[Any], Any], Any, Optional[float]]
 ) -> TaskOutcome:
@@ -126,9 +147,9 @@ def run_task(
     fn, arg, submitted_at = payload
     cache_before = get_cache().stats()
     perf: Optional[Dict[str, float]] = None
+    events_before = _events_total()
     if submitted_at is not None:
         started = perf_seconds()
-        events_before = _events_total()
     registry = PhaseRegistry()
     hook = _TASK_LEDGER
     ledger_segment: Optional[Dict[str, Any]] = None
@@ -140,13 +161,15 @@ def run_task(
             value = fn(arg)
         ledger_segment = box.payload
     delta = stats_delta(cache_before, get_cache().stats())
+    events_delta = _events_total() - events_before
     if submitted_at is not None:
         perf = {
             "wall_s": perf_seconds() - started,
             "queue_wait_s": max(0.0, started - submitted_at),
-            "events": float(_events_total() - events_before),
+            "events": float(events_delta),
         }
-    return value, registry.total_seconds(), delta, ledger_segment, perf
+    return (value, registry.total_seconds(), delta, ledger_segment, perf,
+            events_delta)
 
 
 def _map_inline(fn: Callable[[Any], Any], args: Sequence[Any]) -> List[Any]:
@@ -255,13 +278,15 @@ class TaskScheduler:
         # (and report progress on) completions as they stream back, in
         # task order.
         for index, outcome in enumerate(outcomes):
-            value, phase_totals, cache_delta, ledger_segment, task_perf = (
-                outcome
-            )
+            (value, phase_totals, cache_delta, ledger_segment, task_perf,
+             events_delta) = outcome
             if registry is not None and phase_totals:
                 registry.merge_totals(phase_totals, prefix=prefix)
             if cache_delta:
                 cache.absorb_stats(cache_delta)
+            # Worker engines bumped *their* cumulative event counter;
+            # fold the deltas back so the parent counter matches serial.
+            _absorb_events(events_delta)
             if hook is not None and ledger_segment is not None:
                 # Task order == serial order, so folding segments here
                 # reproduces the serial ledger bit for bit.

@@ -286,7 +286,7 @@ def _wrap_generator(
 @contextmanager
 def _suspended() -> Iterator[None]:
     """Temporarily stop recording (used around testbed-cache builds)."""
-    global _ACTIVE
+    global _ACTIVE  # noqa: PLW0603 - deliberate suspend/restore of the slot
     saved, _ACTIVE = _ACTIVE, None
     try:
         yield
@@ -459,7 +459,7 @@ def sanitize(
             run_experiment("fig6", repetitions=1)
         state.ledger.save("serial.json")
     """
-    global _ACTIVE
+    global _ACTIVE  # noqa: PLW0603 - single non-nesting activation slot
     if _ACTIVE is not None:
         raise SanitizeError(
             "sanitize() is already active; ledgers do not nest"

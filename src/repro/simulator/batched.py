@@ -47,7 +47,7 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from math import inf
-from typing import TYPE_CHECKING, Iterator, Tuple
+from typing import TYPE_CHECKING, Iterator, Sequence, Tuple
 
 from repro.obs.trace import KIND_REQUEST, TraceRecord
 from repro.simulator import events as events_module
@@ -56,10 +56,12 @@ from repro.simulator.events import OriginUpdateEvent
 if TYPE_CHECKING:
     from repro.simulator.engine import SimulationEngine
 
-#: Shared empty holder list: the miss path yields it when the directory
-#: has no entry, mirroring the empty list the legacy comprehension
-#: builds (it is only ever iterated, never mutated).
-_NO_HOLDERS: list = []
+#: Shared empty holder sequence: the miss path yields it when the
+#: directory has no entry, mirroring the empty list the legacy
+#: comprehension builds.  A tuple (not a list) so the module-level
+#: sharing is immutable by construction — the effect analysis treats
+#: module-level mutable containers as shared state.
+_NO_HOLDERS: Tuple[int, ...] = ()
 
 
 def _merged_stream(
@@ -433,7 +435,7 @@ def run_batched(engine: "SimulationEngine") -> int:
                     if down or partition_of:
                         # Degraded path (rare): the full protocol filter
                         # over down/partitioned holders.
-                        holders = proto_holders(c, d)
+                        holders: Sequence[int] = proto_holders(c, d)
                         if directory_mode:
                             query = lookup_ms
                             messages = 2

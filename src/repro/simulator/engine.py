@@ -67,6 +67,21 @@ def events_total() -> int:
     return _EVENTS_TOTAL
 
 
+def absorb_events(count: int) -> None:
+    """Fold a worker's event-count delta into this process's counter.
+
+    :meth:`repro.runtime.scheduler.TaskScheduler.map` calls this while
+    reassembling pool results, so the parent's :func:`events_total`
+    after a parallel map matches what a serial run would report.  This
+    is the registered merge-back hook for ``_EVENTS_TOTAL`` — see
+    ``repro.lint.effects.MERGE_BACK_REGISTRY`` (the
+    ``shared-mutable-global`` rule flags task-reachable counters
+    without one).
+    """
+    global _EVENTS_TOTAL  # noqa: PLW0603 - the sanctioned merge-back site
+    _EVENTS_TOTAL += int(count)
+
+
 class SimulationEngine:
     """One simulation run over a fixed network, grouping, and workload."""
 
@@ -298,7 +313,7 @@ class SimulationEngine:
             events_processed = run_batched(self)
         else:
             events_processed = self._run_event_objects()
-        global _EVENTS_TOTAL
+        global _EVENTS_TOTAL  # noqa: PLW0603 - merged counter, see absorb_events
         _EVENTS_TOTAL += events_processed
         if self._observer is not NULL_OBSERVER:
             # Any caller-supplied observer gets throughput numbers, even

@@ -298,7 +298,7 @@ def set_column_ledger(hook: Optional[Any]) -> Optional[Any]:
 
     Returns the previously-installed hook so callers can restore it.
     """
-    global _COLUMN_LEDGER
+    global _COLUMN_LEDGER  # noqa: PLW0603 - sanitizer-installed hook slot
     previous = _COLUMN_LEDGER
     _COLUMN_LEDGER = hook
     return previous

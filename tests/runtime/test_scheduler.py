@@ -33,6 +33,15 @@ def _cache_probe(x):
     return x
 
 
+def _bump_engine_counter(n):
+    # Stand-in for "the task ran a simulation": bump the worker-local
+    # cumulative event counter the way SimulationEngine.run does.
+    from repro.simulator.engine import absorb_events
+
+    absorb_events(n)
+    return n
+
+
 class TestTaskScheduler:
     def test_inline_map_preserves_order(self):
         with TaskScheduler(1) as scheduler:
@@ -68,6 +77,18 @@ class TestTaskScheduler:
         stats = get_cache().stats()
         # Every worker miss/hit is visible in the parent's counters.
         assert stats["hits"] + stats["misses"] == 4
+
+    def test_worker_event_deltas_fold_into_parent_counter(self):
+        # Worker processes bump *their* copy of the engine counter;
+        # the parent must end up exactly where a serial run would.
+        from repro.simulator.engine import events_total
+
+        before = events_total()
+        with TaskScheduler(2) as scheduler:
+            assert scheduler.map(_bump_engine_counter, [3, 4, 5]) == [
+                3, 4, 5
+            ]
+        assert events_total() - before == 12
 
     def test_shutdown_idempotent(self):
         scheduler = TaskScheduler(2)
