@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test sanitize-smoke check bench bench-tables examples suite clean
+.PHONY: install lint test sanitize-smoke chaos-smoke check bench bench-tables examples suite clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -36,7 +36,19 @@ sanitize-smoke:
 		.sanitize_serial.json .sanitize_jobs2.json
 	rm -f .sanitize_serial.json .sanitize_jobs2.json
 
-check: lint test sanitize-smoke
+# Fault-tolerance half: the same figure under deterministic worker
+# kills must exit 0 and archive byte-identical results to a clean run
+# (docs/robustness.md#runtime-fault-tolerance).
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli experiment fig6 \
+		--repetitions 1 --seed 7 --out .chaos_clean.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos run --figure fig6 \
+		--repetitions 1 --seed 7 --kill-rate 0.2 --jobs 2 \
+		--out .chaos_chaotic.json
+	cmp .chaos_clean.json .chaos_chaotic.json
+	rm -f .chaos_clean.json .chaos_chaotic.json
+
+check: lint test sanitize-smoke chaos-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

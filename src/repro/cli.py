@@ -40,6 +40,19 @@ baselines (see :mod:`repro.bench` and docs/performance.md)::
 
     repro bench run --out BENCH_engine.json
     repro bench gate --baseline benchmarks/baselines/BENCH_engine_main.json
+
+``repro chaos`` proves the supervised runtime survives worker failure:
+deterministic kills/delays at content-derived task indices must leave
+the archived results byte-identical to a clean run (see
+:mod:`repro.runtime.chaos` and docs/robustness.md)::
+
+    repro chaos run --figure fig6 --kill-rate 0.2 --jobs 2 --out r.json
+    repro chaos plan --tasks 9 --kill-rate 0.2
+
+An interrupted registry-backed sweep resumes from its task journal,
+re-running only unfinished work units::
+
+    repro experiment fig6 --registry runs/ --resume auto
 """
 
 from __future__ import annotations
@@ -62,6 +75,7 @@ from repro.errors import ReproError
 from repro.experiments import REGISTRY
 from repro.lint.cli import configure_parser as configure_lint_parser
 from repro.obs.registry_cli import configure_parser as configure_runs_parser
+from repro.runtime.chaos_cli import configure_parser as configure_chaos_parser
 from repro.sanitize.cli import configure_parser as configure_sanitize_parser
 from repro.persist import (
     load_grouping,
@@ -227,6 +241,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a throttled stderr heartbeat (tasks done/total, ETA, "
              "aggregate events/s) while a figure's units run",
     )
+    exp.add_argument(
+        "--task-timeout", type=float, metavar="S",
+        help="per-attempt deadline in seconds; an attempt running "
+             "longer is presumed wedged and re-dispatched (with "
+             "--jobs > 1)",
+    )
+    exp.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="extra attempts a crashed/timed-out work unit may consume "
+             "before the run fails (default 3)",
+    )
+    exp.add_argument(
+        "--retry-backoff", type=float, default=0.1, metavar="S",
+        help="base pause before re-dispatching after a worker failure, "
+             "doubling per consecutive failure up to 5s (default 0.1)",
+    )
+    exp.add_argument(
+        "--resume", metavar="SWEEP_ID",
+        help="resume an interrupted sweep from its task journal in the "
+             "registry: completed work units are skipped and the "
+             "archive matches an uninterrupted run byte for byte "
+             "(needs --registry; pass the sweep id printed by the "
+             "original run, or 'auto')",
+    )
     _add_registry_arg(exp)
 
     lint = sub.add_parser(
@@ -241,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture or diff runtime draw ledgers (repro.sanitize)",
     )
     configure_sanitize_parser(san)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic worker kills/delays against the supervised "
+             "runtime (repro.runtime.chaos)",
+    )
+    configure_chaos_parser(chaos)
 
     runs = sub.add_parser(
         "runs",
@@ -666,12 +711,50 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_journal(args: argparse.Namespace, run_registry, kwargs):
+    """The sweep's TaskJournal (or None) and its sweep id.
+
+    With a registry configured, every single-figure sweep journals its
+    completed work units under ``journals/<sweep_id>.jsonl``.  Plain
+    runs journal in record-only mode (lookups never served, so changed
+    code can never silently reuse stale results); ``--resume`` switches
+    lookups on after validating the id against this sweep's content.
+    """
+    if run_registry is None:
+        return None, None
+    from repro.runtime.journal import TaskJournal, sweep_id_for
+
+    sweep_id = sweep_id_for(args.figure, kwargs)
+    resume = False
+    if args.resume:
+        if args.resume != "auto" and (
+            len(args.resume) < 4 or not sweep_id.startswith(args.resume)
+        ):
+            raise ReproError(
+                f"--resume {args.resume!r} does not match this sweep: "
+                f"the figure/seed/repetitions given here derive sweep id "
+                f"{sweep_id}; re-run with the exact flags of the "
+                f"interrupted run (or pass 'auto')"
+            )
+        resume = True
+    journal = TaskJournal(
+        run_registry.journal_path(sweep_id), resume=resume
+    )
+    return journal, sweep_id
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.runtime import TaskScheduler, configure_cache, use_scheduler
 
     if args.figure == "all":
         from repro.experiments import run_suite
 
+        if args.resume:
+            raise ReproError(
+                "--resume works on single-figure sweeps; run the "
+                "interrupted figure directly (each figure journals "
+                "separately)"
+            )
         figures = None
         if args.figures:
             figures = [f.strip() for f in args.figures.split(",") if f.strip()]
@@ -686,6 +769,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             worker_perf=args.worker_perf,
             progress=args.progress,
             registry_dir=args.registry,
+            task_timeout_s=args.task_timeout,
+            max_retries=args.max_retries,
+            retry_backoff_s=args.retry_backoff,
         )
         for experiment_id in sorted(run.results):
             print(run.results[experiment_id].render())
@@ -706,20 +792,46 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.cache_dir:
         configure_cache(disk_dir=args.cache_dir)
     run_registry = _resolve_registry(args)
-    scheduler = TaskScheduler(args.jobs)
+    if args.resume and run_registry is None:
+        raise ReproError(
+            "--resume requires --registry DIR (or $REPRO_REGISTRY): "
+            "the task journal lives under the registry root"
+        )
+    journal, sweep_id = _experiment_journal(args, run_registry, kwargs)
+    scheduler = TaskScheduler(
+        args.jobs,
+        task_timeout_s=args.task_timeout,
+        max_retries=args.max_retries,
+        retry_backoff_s=args.retry_backoff,
+    )
     with scheduler, use_scheduler(scheduler):
         try:
             result, manifest = run_figure(
                 args.figure, kwargs, jobs=args.jobs,
                 worker_perf=args.worker_perf, progress=args.progress,
+                journal=journal,
             )
         except TypeError:
             # e.g. fig3 takes no --repetitions; re-run with basics only.
+            # The reduced kwargs are a different sweep, so re-derive the
+            # journal before retrying.
             kwargs.pop("repetitions", None)
+            journal, sweep_id = _experiment_journal(
+                args, run_registry, kwargs
+            )
             result, manifest = run_figure(
                 args.figure, kwargs, jobs=args.jobs,
                 worker_perf=args.worker_perf, progress=args.progress,
+                journal=journal,
             )
+    if journal is not None:
+        resumed = (
+            f", {journal.hits} unit(s) resumed" if journal.resume else ""
+        )
+        print(
+            f"task journal {sweep_id}: {journal.completed} unit(s) on "
+            f"record{resumed} (resume with --resume {sweep_id})"
+        )
     if run_registry is not None:
         appended = run_registry.append(manifest, kind="experiment")
         print(f"registered run {appended.record.run_id}")
@@ -746,6 +858,12 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     from repro.sanitize.cli import run_sanitize
 
     return run_sanitize(args)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.runtime.chaos_cli import run_chaos
+
+    return run_chaos(args)
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
@@ -779,6 +897,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
+    "chaos": _cmd_chaos,
     "runs": _cmd_runs,
     "bench": _cmd_bench,
     "compare": _cmd_compare,

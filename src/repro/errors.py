@@ -81,6 +81,41 @@ class SchemeError(ReproError):
     landmarks were selected)."""
 
 
+class SchedulerError(ReproError):
+    """A parallel task fan failed in the runtime layer itself.
+
+    Raised by :class:`repro.runtime.scheduler.TaskScheduler` when a work
+    unit cannot be completed for *infrastructure* reasons — a worker
+    crashed and its retry budget is exhausted, a per-task deadline kept
+    expiring, or the task payload/result is not picklable.  Exceptions
+    raised *by* the task function itself propagate unwrapped, exactly as
+    a serial run would raise them.
+
+    ``task_index``, ``qualname``, ``attempts``, and ``last_error`` are
+    carried as attributes so callers (and tests) can act on the failing
+    unit without parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_index: int = -1,
+        qualname: str = "",
+        attempts: int = 0,
+        last_error: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.task_index = task_index
+        self.qualname = qualname
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class JournalError(ReproError):
+    """A task journal could not be read/written, or a work-unit payload
+    is not content-keyable (see :mod:`repro.runtime.journal`)."""
+
+
 class RegistryError(ReproError):
     """The run registry is missing, corrupt, or a run reference did not
     resolve (see :mod:`repro.obs.registry`)."""

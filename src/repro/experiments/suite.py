@@ -19,7 +19,7 @@ from repro.analysis.export import export_experiment_result
 from repro.analysis.report import ExperimentResult
 from repro.errors import ReproError
 from repro.experiments.registry import REGISTRY
-from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.manifest import RunManifest, build_manifest, merge_sparse_stats
 from repro.obs.profiling import PhaseRegistry, activate
 from repro.persist import save_manifest, save_result
 from repro.runtime.cache import (
@@ -28,7 +28,13 @@ from repro.runtime.cache import (
     get_cache,
     stats_delta,
 )
-from repro.runtime.scheduler import TaskScheduler, set_perf_hook, use_scheduler
+from repro.runtime.scheduler import (
+    TaskScheduler,
+    active_scheduler,
+    set_perf_hook,
+    set_task_journal,
+    use_scheduler,
+)
 
 PathLike = Union[str, Path]
 
@@ -82,6 +88,7 @@ def run_figure(
     jobs: int = 1,
     worker_perf: bool = False,
     progress: bool = False,
+    journal: Optional[Any] = None,
 ) -> Tuple[ExperimentResult, RunManifest]:
     """Run one registered figure under full manifest instrumentation.
 
@@ -92,6 +99,12 @@ def run_figure(
     or ``progress`` is set — the scheduler's ``worker_*`` summary.
     The telemetry module is imported only when actually enabled, so
     plain runs never load it.
+
+    ``journal`` (a :class:`repro.runtime.journal.TaskJournal`) is
+    installed around the run for checkpoint/resume; its hit/record
+    counts and any supervised-mode retry/timeout charges land in
+    ``run_stats`` only when non-zero, so undisturbed manifests are
+    unchanged.
     """
     collector = None
     if worker_perf or progress:
@@ -106,13 +119,20 @@ def run_figure(
     cache = get_cache()
     registry = PhaseRegistry()
     cache_before = cache.stats()
+    scheduler = active_scheduler()
+    retry_before = scheduler.retry_stats() if scheduler is not None else {}
     previous_hook = set_perf_hook(collector) if collector is not None else None
+    previous_journal = (
+        set_task_journal(journal) if journal is not None else None
+    )
     try:
         with activate(registry), registry.time(experiment_id):
             result = REGISTRY[experiment_id](**kwargs)
     finally:
         if collector is not None:
             set_perf_hook(previous_hook)
+        if journal is not None:
+            set_task_journal(previous_journal)
     cache_stats = stats_delta(cache_before, cache.stats())
     manifest = build_manifest(
         label=experiment_id, seed=kwargs.get("seed"), registry=registry
@@ -125,6 +145,23 @@ def run_figure(
     })
     if collector is not None:
         manifest.run_stats.update(collector.summary())
+    if scheduler is not None:
+        retry_after = scheduler.retry_stats()
+        merge_sparse_stats(manifest, {
+            "worker_retries": float(
+                retry_after.get("retries", 0)
+                - retry_before.get("retries", 0)
+            ),
+            "worker_timeouts": float(
+                retry_after.get("timeouts", 0)
+                - retry_before.get("timeouts", 0)
+            ),
+        })
+    if journal is not None:
+        merge_sparse_stats(manifest, {
+            "journal_hits": float(journal.hits),
+            "journal_recorded": float(journal.recorded),
+        })
     return result, manifest
 
 
@@ -139,6 +176,9 @@ def run_suite(
     worker_perf: bool = False,
     progress: bool = False,
     registry_dir: Optional[PathLike] = None,
+    task_timeout_s: Optional[float] = None,
+    max_retries: int = 3,
+    retry_backoff_s: float = 0.1,
 ) -> SuiteRun:
     """Run the selected figures (default: all) and archive results.
 
@@ -158,6 +198,11 @@ def run_suite(
     run registry at that root (see :mod:`repro.obs.registry`).  All
     three leave the archived results byte-identical — they only add
     observability around the same computation.
+
+    ``task_timeout_s``/``max_retries``/``retry_backoff_s`` configure the
+    scheduler's supervised mode (crash/deadline retries with capped
+    exponential backoff — see :mod:`repro.runtime.scheduler`); retries
+    re-run pure work units, so they too leave results byte-identical.
     """
     selected = list(figures) if figures is not None else sorted(REGISTRY)
     unknown = [f for f in selected if f not in REGISTRY]
@@ -183,7 +228,12 @@ def run_suite(
 
     results: Dict[str, ExperimentResult] = {}
     manifests: Dict[str, RunManifest] = {}
-    scheduler = TaskScheduler(jobs)
+    scheduler = TaskScheduler(
+        jobs,
+        task_timeout_s=task_timeout_s,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+    )
     with scheduler, use_scheduler(scheduler):
         for experiment_id in selected:
             kwargs = _figure_kwargs(

@@ -102,6 +102,10 @@ MERGE_BACK_REGISTRY: Dict[str, str] = {
     "repro.sanitize.instrument:_TYPE_CRC":
         "content-keyed CRC memo: worker-local entries are recomputed "
         "identically on demand, so dropping them at join loses nothing",
+    "repro.runtime.chaos:_DELAYS_INJECTED":
+        "injected-delay counter: worker deltas ride back in TaskOutcome "
+        "and are folded into the parent by TaskScheduler.map via "
+        "chaos.absorb_delays()",
 }
 
 #: Hand-audited runtime machinery: the sanctioned clock, the entropy

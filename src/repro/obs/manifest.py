@@ -71,6 +71,22 @@ class RunManifest:
         return manifest
 
 
+def merge_sparse_stats(
+    manifest: RunManifest, stats: Dict[str, float]
+) -> None:
+    """Merge run-stat counters into ``manifest``, omitting zeros.
+
+    Fault-tolerance counters (``worker_retries``, ``journal_hits``, …)
+    follow the fault-layer convention: they appear in a manifest only
+    when the mechanism actually fired, so an undisturbed run's manifest
+    stays byte-identical to one from before the mechanism existed.
+    """
+    for key, value in stats.items():
+        number = float(value)
+        if number != 0.0:
+            manifest.run_stats[key] = number
+
+
 def config_to_dict(config: Any) -> Dict[str, Any]:
     """Flatten a (possibly nested) config dataclass into plain JSON types."""
     if dataclasses.is_dataclass(config) and not isinstance(config, type):

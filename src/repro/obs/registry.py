@@ -16,6 +16,11 @@ pieces under one root:
   :class:`~repro.obs.manifest.RunManifest` (same JSON format
   ``repro report`` reads), written atomically via temp-file + rename.
 
+A third directory, ``journals/``, holds per-sweep task journals —
+the checkpoint files behind ``repro experiment --resume`` (see
+:mod:`repro.runtime.journal`); they are written by the runtime layer
+and merely *housed* here so one root captures a campaign's full state.
+
 Run ids are *content addresses*: the SHA-256 of the canonical manifest
 JSON, truncated to 12 hex chars.  Re-appending a byte-identical
 manifest re-uses the archived file and is reported as a duplicate, so
@@ -35,6 +40,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -43,6 +49,10 @@ from repro.errors import RegistryError
 from repro.obs.manifest import RunManifest
 
 PathLike = Union[str, Path]
+
+
+class RegistryWarning(UserWarning):
+    """A registry read skipped recoverable damage (e.g. a torn line)."""
 
 #: Bump when the index-line schema changes shape incompatibly.
 REGISTRY_FORMAT_VERSION = 1
@@ -56,6 +66,7 @@ _MAX_LINE_BYTES = 3500
 
 _INDEX_NAME = "index.jsonl"
 _MANIFEST_DIR = "manifests"
+_JOURNAL_DIR = "journals"
 
 
 def canonical_manifest_json(manifest: RunManifest) -> str:
@@ -271,6 +282,15 @@ class RunRegistry:
     def manifest_path(self, run_id: str) -> Path:
         return self.manifest_dir / f"{run_id}.json"
 
+    @property
+    def journal_dir(self) -> Path:
+        """Where sweep task journals live (see repro.runtime.journal)."""
+        return self._root / _JOURNAL_DIR
+
+    def journal_path(self, sweep_id: str) -> Path:
+        """The task-journal file for one sweep id."""
+        return self.journal_dir / f"{sweep_id}.jsonl"
+
     # -- writing --------------------------------------------------------
 
     def append(self, manifest: RunManifest, kind: str = "run") -> AppendResult:
@@ -338,15 +358,31 @@ class RunRegistry:
     # -- reading --------------------------------------------------------
 
     def records(self) -> List[RunRecord]:
-        """Every index entry, in append (chronological) order."""
+        """Every readable index entry, in append (chronological) order.
+
+        A writer killed mid-append leaves a torn (truncated) final
+        line; a registry query must not be held hostage by it.  Any
+        unparseable line is skipped with a :class:`RegistryWarning`
+        naming its position — every intact record stays reachable.
+        """
         if not self.index_path.exists():
             return []
         records = []
         with open(self.index_path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     records.append(RunRecord.from_line(line))
+                except RegistryError as exc:
+                    warnings.warn(
+                        f"skipping unreadable line {number} of "
+                        f"{self.index_path} ({exc}); likely a torn "
+                        f"append from an interrupted writer",
+                        RegistryWarning,
+                        stacklevel=2,
+                    )
         return records
 
     def find(self, ref: str) -> RunRecord:

@@ -27,16 +27,23 @@ from repro.runtime.cache import (
 from repro.runtime.scheduler import (
     TaskScheduler,
     active_scheduler,
+    chaos_policy,
     map_tasks,
     perf_hook,
+    set_chaos_policy,
     set_perf_hook,
+    set_task_journal,
+    task_journal,
     use_scheduler,
 )
 
-# repro.runtime.telemetry (PerfCollector/ProgressReporter) is NOT
-# re-exported here on purpose: this package sits on the experiment hot
-# path, and disabled telemetry must cost zero imports.  Callers that
-# enable --worker-perf/--progress import it lazily.
+# repro.runtime.telemetry (PerfCollector/ProgressReporter),
+# repro.runtime.journal (TaskJournal), and repro.runtime.chaos
+# (ChaosPolicy) are NOT re-exported here on purpose: this package sits
+# on the experiment hot path, and disabled telemetry/checkpointing/
+# fault-injection must cost zero imports.  Callers that enable them
+# import lazily; the scheduler talks to all three through duck-typed
+# hook slots.
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -44,14 +51,18 @@ __all__ = [
     "TaskScheduler",
     "active_scheduler",
     "cached_network",
+    "chaos_policy",
     "configure_cache",
     "get_cache",
     "map_tasks",
     "network_key",
     "perf_hook",
     "reset_cache",
+    "set_chaos_policy",
     "set_perf_hook",
+    "set_task_journal",
     "stats_delta",
+    "task_journal",
     "testbed_key",
     "use_scheduler",
 ]

@@ -25,28 +25,62 @@ are merged the same way (see :mod:`repro.runtime.cache`).
 The pool prefers the ``fork`` start method (cheap workers that inherit
 the parent's warm in-memory cache); where only ``spawn`` is available
 workers start cold and lean on the shared disk cache instead.
+
+Execution is *supervised*: a crashed worker (``BrokenProcessPool``) or
+an expired per-task deadline (``task_timeout_s``) rebuilds the pool and
+re-dispatches the affected tasks with capped exponential backoff, up to
+``max_retries`` extra attempts per task.  Because work units are pure
+functions of their payload and a retried attempt's draw-ledger segment
+is only folded back once (from the attempt that completed), retries do
+not perturb results — a run that survived worker kills archives byte
+for byte what a clean serial run archives.  Retry exhaustion raises
+:class:`~repro.errors.SchedulerError` naming the task, its attempt
+count, and the last failure, never a raw pool traceback.  See
+docs/robustness.md ("Runtime fault tolerance").
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import sys
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.errors import SchedulerError
 from repro.obs.profiling import PhaseRegistry, activate, current_registry, perf_seconds
 from repro.runtime.cache import get_cache, stats_delta
 
 #: A task's remote outcome: (value, phase totals, cache counter delta,
 #: draw-ledger segment or None, perf record or None, engine event-count
-#: delta).  The event delta is always measured — the parent folds it
-#: back into the engine's cumulative counter so ``events_total()`` after
-#: a parallel map matches a serial run.
+#: delta, injected chaos-delay count).  The event and chaos deltas are
+#: always measured — the parent folds them back into the respective
+#: cumulative counters so ``events_total()``/``chaos.delays_total()``
+#: after a parallel map match a serial run.
 TaskOutcome = Tuple[
     Any, Dict[str, float], Dict[str, int], Optional[Dict[str, Any]],
-    Optional[Dict[str, float]], int,
+    Optional[Dict[str, float]], int, int,
 ]
 
 #: The draw-ledger hook installed by ``repro.sanitize`` (duck-typed:
@@ -74,9 +108,9 @@ def task_ledger() -> Optional[Any]:
 
 #: The worker-perf hook installed by ``run_suite``/the CLI (duck-typed:
 #: ``on_map_begin(total)``, ``record_task(index, perf, cache_delta)``,
-#: ``on_map_end(elapsed_s)`` — see ``repro.runtime.telemetry``).  None
-#: costs one global read per map; the scheduler never imports the
-#: telemetry module.
+#: ``on_map_end(elapsed_s)``, optionally ``record_retry(index, kind)``
+#: — see ``repro.runtime.telemetry``).  None costs one global read per
+#: map; the scheduler never imports the telemetry module.
 _PERF_HOOK: Optional[Any] = None
 
 
@@ -94,6 +128,54 @@ def set_perf_hook(hook: Optional[Any]) -> Optional[Any]:
 def perf_hook() -> Optional[Any]:
     """The currently-installed worker-perf hook, if any."""
     return _PERF_HOOK
+
+
+#: The checkpoint journal installed by the CLI for resumable sweeps
+#: (duck-typed: ``lookup(fn, arg) -> (hit, value)`` and
+#: ``record(fn, arg, value)`` — see ``repro.runtime.journal``).  None
+#: costs one global read per map; the scheduler never imports the
+#: journal module.
+_TASK_JOURNAL: Optional[Any] = None
+
+
+def set_task_journal(journal: Optional[Any]) -> Optional[Any]:
+    """Install (or clear, with None) the checkpoint task journal.
+
+    Returns the previously-installed journal so callers can restore it.
+    """
+    global _TASK_JOURNAL  # noqa: PLW0603 - parent-installed hook slot
+    previous = _TASK_JOURNAL
+    _TASK_JOURNAL = journal
+    return previous
+
+
+def task_journal() -> Optional[Any]:
+    """The currently-installed checkpoint journal, if any."""
+    return _TASK_JOURNAL
+
+
+#: The fault-injection policy installed by ``repro chaos run``
+#: (duck-typed: ``apply(index, attempt)`` called at the task boundary
+#: in the worker — see ``repro.runtime.chaos``).  Fork workers inherit
+#: the slot; None — every non-chaos run — costs one global read per
+#: task and the scheduler never imports the chaos module.
+_CHAOS_POLICY: Optional[Any] = None
+
+
+def set_chaos_policy(policy: Optional[Any]) -> Optional[Any]:
+    """Install (or clear, with None) the worker fault-injection policy.
+
+    Returns the previously-installed policy so callers can restore it.
+    """
+    global _CHAOS_POLICY  # noqa: PLW0603 - parent-installed hook slot
+    previous = _CHAOS_POLICY
+    _CHAOS_POLICY = policy
+    return previous
+
+
+def chaos_policy() -> Optional[Any]:
+    """The currently-installed fault-injection policy, if any."""
+    return _CHAOS_POLICY
 
 
 def _events_total() -> int:
@@ -128,8 +210,33 @@ def _absorb_events(count: int) -> None:
     module.absorb_events(count)
 
 
+def _chaos_delays_total() -> int:
+    """The chaos harness's cumulative delay counter, without importing it.
+
+    Same ``sys.modules`` pattern as :func:`_events_total`: non-chaos
+    runs never load :mod:`repro.runtime.chaos`, so the read costs one
+    dict lookup and returns 0.
+    """
+    module = sys.modules.get("repro.runtime.chaos")
+    if module is None:
+        return 0
+    return int(module.delays_total())
+
+
+def _absorb_chaos_delays(count: int) -> None:
+    """Fold a worker's injected-delay delta into the parent counter."""
+    if count <= 0:
+        return
+    module = sys.modules.get("repro.runtime.chaos")
+    if module is None:
+        import importlib
+
+        module = importlib.import_module("repro.runtime.chaos")
+    module.absorb_delays(count)
+
+
 def run_task(
-    payload: Tuple[Callable[[Any], Any], Any, Optional[float]]
+    payload: Tuple[Callable[[Any], Any], Any, Optional[float], int, int]
 ) -> TaskOutcome:
     """Execute one task in a worker, capturing its observability.
 
@@ -143,8 +250,19 @@ def run_task(
     submission, or None when telemetry is off — ``perf_counter`` is
     CLOCK_MONOTONIC on Linux, shared across forked processes, so the
     worker-side difference is a genuine queue wait.
+
+    ``index``/``attempt`` identify the work unit and its retry round.
+    An installed chaos policy is consulted first, *before* any draws:
+    a killed attempt therefore leaves no partial ledger segment, no
+    cache delta, and no event count — the retried attempt reproduces
+    the unit from scratch, which is what keeps chaos runs bit-identical
+    to clean ones.
     """
-    fn, arg, submitted_at = payload
+    fn, arg, submitted_at, index, attempt = payload
+    chaos_before = _chaos_delays_total()
+    chaos = _CHAOS_POLICY
+    if chaos is not None:
+        chaos.apply(index, attempt)
     cache_before = get_cache().stats()
     perf: Optional[Dict[str, float]] = None
     events_before = _events_total()
@@ -162,6 +280,7 @@ def run_task(
         ledger_segment = box.payload
     delta = stats_delta(cache_before, get_cache().stats())
     events_delta = _events_total() - events_before
+    chaos_delta = _chaos_delays_total() - chaos_before
     if submitted_at is not None:
         perf = {
             "wall_s": perf_seconds() - started,
@@ -169,11 +288,34 @@ def run_task(
             "events": float(events_delta),
         }
     return (value, registry.total_seconds(), delta, ledger_segment, perf,
-            events_delta)
+            events_delta, chaos_delta)
+
+
+def _journal_partition(
+    fn: Callable[[Any], Any], items: Sequence[Any]
+) -> Tuple[List[Any], List[int]]:
+    """Split a fan into (prefilled values, indices still to run).
+
+    With no journal installed every index runs.  With one installed,
+    completed work units (by content key) are served from the journal
+    and only the remainder is dispatched — the checkpoint/resume path.
+    """
+    values: List[Any] = [None] * len(items)
+    journal = _TASK_JOURNAL
+    if journal is None:
+        return values, list(range(len(items)))
+    remaining: List[int] = []
+    for index, arg in enumerate(items):
+        hit, value = journal.lookup(fn, arg)
+        if hit:
+            values[index] = value
+        else:
+            remaining.append(index)
+    return values, remaining
 
 
 def _map_inline(fn: Callable[[Any], Any], args: Sequence[Any]) -> List[Any]:
-    """Serial map, honouring the ledger/perf hooks like a pool would.
+    """Serial map, honouring the ledger/perf/journal hooks like a pool.
 
     Capturing each unit as its own segment (instead of recording
     straight into the parent ledger) keeps phase attribution identical
@@ -182,24 +324,28 @@ def _map_inline(fn: Callable[[Any], Any], args: Sequence[Any]) -> List[Any]:
     """
     hook = _TASK_LEDGER
     perf = _PERF_HOOK
-    if hook is None and perf is None:
+    if hook is None and perf is None and _TASK_JOURNAL is None:
         return [fn(arg) for arg in args]
     items = list(args)
+    journal = _TASK_JOURNAL
+    values, remaining = _journal_partition(fn, items)
     if perf is not None:
-        perf.on_map_begin(len(items))
+        perf.on_map_begin(len(remaining))
         map_started = perf_seconds()
-    values: List[Any] = []
-    for index, arg in enumerate(items):
+    for index in remaining:
+        arg = items[index]
         if perf is not None:
             cache_before = get_cache().stats()
             started = perf_seconds()
             events_before = _events_total()
         if hook is None:
-            values.append(fn(arg))
+            values[index] = fn(arg)
         else:
             with hook.capture() as box:
-                values.append(fn(arg))
+                values[index] = fn(arg)
             hook.absorb(box.payload)
+        if journal is not None:
+            journal.record(fn, arg, values[index])
         if perf is not None:
             perf.record_task(
                 index,
@@ -215,24 +361,87 @@ def _map_inline(fn: Callable[[Any], Any], args: Sequence[Any]) -> List[Any]:
     return values
 
 
+def _qualname(fn: Callable[[Any], Any]) -> str:
+    """``module:qualname`` of a task callable, best effort."""
+    module = getattr(fn, "__module__", "?")
+    name = getattr(fn, "__qualname__", getattr(fn, "__name__", "?"))
+    return f"{module}:{name}"
+
+
+def _is_pickling_failure(error: BaseException) -> bool:
+    """Did this task die trying to cross the process boundary?
+
+    ``pickle`` does not raise one exception type: a registered-but-
+    unpicklable object raises :class:`pickle.PicklingError`, a local
+    function/lambda result raises ``AttributeError("Can't pickle local
+    object …")``, and C-level objects raise ``TypeError("cannot
+    pickle …")``.  All three deserve the same actionable
+    :class:`SchedulerError` instead of a bare traceback.
+    """
+    if isinstance(error, pickle.PicklingError):
+        return True
+    if isinstance(error, (AttributeError, TypeError)):
+        return "pickle" in str(error).lower()
+    return False
+
+
 class TaskScheduler:
-    """Order-preserving map over independent work units.
+    """Order-preserving, supervised map over independent work units.
 
     ``jobs=1`` executes inline (no pool, no pickling, ambient timers
     work directly).  ``jobs>1`` lazily creates a process pool that is
-    reused across :meth:`map` calls until :meth:`shutdown` (or context
-    exit).
+    reused across :meth:`map` calls until :meth:`shutdown`/:meth:`close`
+    (or context exit).
+
+    ``task_timeout_s`` is a per-attempt deadline: a work unit still
+    running that long after submission is presumed wedged, the pool is
+    rebuilt, and the unit is re-dispatched.  ``max_retries`` bounds the
+    *extra* attempts any single unit may consume across crashes and
+    timeouts; ``retry_backoff_s`` doubles per consecutive failure up to
+    ``retry_backoff_cap_s`` before the re-dispatch.  Exhaustion raises
+    :class:`~repro.errors.SchedulerError`; exceptions raised by the task
+    function itself propagate unwrapped.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        task_timeout_s: Optional[float] = None,
+        max_retries: int = 3,
+        retry_backoff_s: float = 0.1,
+        retry_backoff_cap_s: float = 5.0,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be positive, got {task_timeout_s}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0 or retry_backoff_cap_s < 0:
+            raise ValueError("retry backoff values must be >= 0")
         self._jobs = jobs
+        self._task_timeout_s = task_timeout_s
+        self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._retry_backoff_cap_s = retry_backoff_cap_s
+        self._retry_totals = {"retries": 0, "timeouts": 0}
         self._executor: Optional[ProcessPoolExecutor] = None
 
     @property
     def jobs(self) -> int:
         return self._jobs
+
+    def retry_stats(self) -> Dict[str, int]:
+        """Cumulative supervised-mode counters for this scheduler.
+
+        ``retries`` counts re-dispatches charged to worker crashes,
+        ``timeouts`` those charged to expired deadlines.  ``run_figure``
+        snapshots this around each figure to attribute the deltas to
+        its manifest.
+        """
+        return dict(self._retry_totals)
 
     def __enter__(self) -> "TaskScheduler":
         return self
@@ -259,50 +468,305 @@ class TaskScheduler:
         if self._jobs == 1 or len(items) <= 1:
             return _map_inline(fn, items)
 
-        perf = _PERF_HOOK
-        if perf is not None:
-            perf.on_map_begin(len(items))
-            map_started = perf_seconds()
-            submitted_at: Optional[float] = perf_seconds()
-        else:
-            submitted_at = None
-        outcomes = self._pool().map(
-            run_task, [(fn, arg, submitted_at) for arg in items]
-        )
+        journal = _TASK_JOURNAL
+        values, remaining = _journal_partition(fn, items)
+        if not remaining:
+            return values
+        outcomes = self._execute(fn, items, remaining)
         registry = current_registry()
         prefix = registry.current_path() if registry is not None else ""
         cache = get_cache()
         hook = _TASK_LEDGER
-        values: List[Any] = []
-        # Consuming the map iterator lazily lets the perf hook observe
-        # (and report progress on) completions as they stream back, in
-        # task order.
-        for index, outcome in enumerate(outcomes):
-            (value, phase_totals, cache_delta, ledger_segment, task_perf,
-             events_delta) = outcome
+        # Folding in task order (== serial order) reproduces the serial
+        # phase totals, cache counters, and draw ledger bit for bit —
+        # regardless of the completion order the supervised fan saw.
+        for index in remaining:
+            (value, phase_totals, cache_delta, ledger_segment, _task_perf,
+             events_delta, chaos_delta) = outcomes[index]
             if registry is not None and phase_totals:
                 registry.merge_totals(phase_totals, prefix=prefix)
             if cache_delta:
                 cache.absorb_stats(cache_delta)
-            # Worker engines bumped *their* cumulative event counter;
-            # fold the deltas back so the parent counter matches serial.
+            # Worker engines bumped *their* cumulative counters; fold
+            # the deltas back so the parent matches a serial run.
             _absorb_events(events_delta)
+            _absorb_chaos_delays(chaos_delta)
             if hook is not None and ledger_segment is not None:
-                # Task order == serial order, so folding segments here
-                # reproduces the serial ledger bit for bit.
                 hook.absorb(ledger_segment)
-            if perf is not None and task_perf is not None:
-                perf.record_task(index, task_perf, cache_delta)
-            values.append(value)
-        if perf is not None:
-            perf.on_map_end(perf_seconds() - map_started)
+            if journal is not None:
+                journal.record(fn, items[index], value)
+            values[index] = value
         return values
 
+    # -- supervised fan -------------------------------------------------
+
+    def _execute(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        indices: Sequence[int],
+    ) -> Dict[int, TaskOutcome]:
+        """Run the selected task indices under supervision.
+
+        Keeps at most ``jobs`` attempts in flight, watches deadlines,
+        and survives worker crashes by rebuilding the pool and
+        re-dispatching.  Returns outcomes keyed by task index; the
+        caller folds them back in task order.
+        """
+        perf = _PERF_HOOK
+        if perf is not None:
+            perf.on_map_begin(len(indices))
+        map_started = perf_seconds()
+        outcomes: Dict[int, TaskOutcome] = {}
+        attempts: Dict[int, int] = {index: 0 for index in indices}
+        last_error: Dict[int, str] = {}
+        queue: Deque[int] = deque(indices)
+        inflight: Dict["Future[TaskOutcome]", Tuple[int, float]] = {}
+        failures = 0
+        while queue or inflight:
+            while queue and len(inflight) < self._jobs:
+                index = queue.popleft()
+                stamp = perf_seconds()
+                payload = (
+                    fn, items[index],
+                    stamp if perf is not None else None,
+                    index, attempts[index],
+                )
+                try:
+                    future = self._pool().submit(run_task, payload)
+                except BrokenExecutor as exc:
+                    # The pool died before accepting the task (a worker
+                    # crashed while idle, or a prior fan broke it).
+                    failures += 1
+                    self._recover_crash(
+                        exc, [index], inflight, queue, attempts,
+                        last_error, fn, perf, failures,
+                    )
+                    continue
+                inflight[future] = (index, stamp)
+            if not inflight:
+                continue
+            done, _pending = wait(
+                inflight.keys(),
+                timeout=self._poll_timeout(inflight),
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                expired = self._expired(inflight)
+                if expired:
+                    failures += 1
+                    self._recover_timeout(
+                        expired, inflight, queue, attempts, last_error,
+                        fn, perf, failures,
+                    )
+                continue
+            crash: Optional[BaseException] = None
+            crashed: List[int] = []
+            for future in done:
+                index, _stamp = inflight.pop(future)
+                error = future.exception()
+                if error is None:
+                    outcome = future.result()
+                    outcomes[index] = outcome
+                    if perf is not None and outcome[4] is not None:
+                        perf.record_task(index, outcome[4], outcome[2])
+                    continue
+                if isinstance(error, BrokenExecutor):
+                    # The whole pool is gone; every sibling future will
+                    # fail the same way.  Collect and recover once.
+                    crash = error
+                    crashed.append(index)
+                    continue
+                if _is_pickling_failure(error):
+                    self._discard_pool()
+                    raise SchedulerError(
+                        f"task {index} ({_qualname(fn)}) cannot cross the "
+                        f"process boundary: {error} — task callables must "
+                        f"be module-level and payloads/results picklable",
+                        task_index=index,
+                        qualname=_qualname(fn),
+                        attempts=attempts[index] + 1,
+                        last_error=str(error),
+                    ) from error
+                # The task function itself raised: propagate unwrapped,
+                # exactly as a serial run would (retrying user errors
+                # would mask deterministic bugs).
+                self._discard_pool()
+                raise error
+            if crash is not None:
+                failures += 1
+                self._recover_crash(
+                    crash, crashed, inflight, queue, attempts, last_error,
+                    fn, perf, failures,
+                )
+        if perf is not None:
+            perf.on_map_end(perf_seconds() - map_started)
+        return outcomes
+
+    def _poll_timeout(
+        self, inflight: Dict["Future[TaskOutcome]", Tuple[int, float]]
+    ) -> Optional[float]:
+        """Seconds until the earliest in-flight deadline, or None."""
+        if self._task_timeout_s is None:
+            return None
+        now = perf_seconds()
+        earliest = min(stamp for _index, stamp in inflight.values())
+        return max(0.0, earliest + self._task_timeout_s - now)
+
+    def _expired(
+        self, inflight: Dict["Future[TaskOutcome]", Tuple[int, float]]
+    ) -> List[int]:
+        """Task indices whose attempt has outlived the deadline."""
+        if self._task_timeout_s is None:
+            return []
+        now = perf_seconds()
+        return sorted(
+            index for index, stamp in inflight.values()
+            if now - stamp >= self._task_timeout_s
+        )
+
+    def _charge(
+        self,
+        index: int,
+        kind: str,
+        detail: str,
+        attempts: Dict[int, int],
+        last_error: Dict[int, str],
+        fn: Callable[[Any], Any],
+        perf: Optional[Any],
+    ) -> None:
+        """Charge one failed attempt; raise when the budget is spent."""
+        attempts[index] += 1
+        key = "timeouts" if kind == "timeout" else "retries"
+        self._retry_totals[key] += 1
+        last_error[index] = detail
+        if perf is not None:
+            record_retry = getattr(perf, "record_retry", None)
+            if record_retry is not None:
+                record_retry(index, kind)
+        if attempts[index] > self._max_retries:
+            raise SchedulerError(
+                f"task {index} ({_qualname(fn)}) failed after "
+                f"{attempts[index]} attempt(s) "
+                f"(max_retries={self._max_retries}); last error: "
+                f"{last_error[index]}",
+                task_index=index,
+                qualname=_qualname(fn),
+                attempts=attempts[index],
+                last_error=last_error[index],
+            )
+
+    def _recover_crash(
+        self,
+        exc: BaseException,
+        crashed: Sequence[int],
+        inflight: Dict["Future[TaskOutcome]", Tuple[int, float]],
+        queue: Deque[int],
+        attempts: Dict[int, int],
+        last_error: Dict[int, str],
+        fn: Callable[[Any], Any],
+        perf: Optional[Any],
+        failures: int,
+    ) -> None:
+        """Rebuild after ``BrokenProcessPool`` and requeue the fallout.
+
+        Every task in flight at the moment of the crash is charged an
+        attempt — the pool cannot say which worker held which task, and
+        a task whose attempt actually finished is pure, so re-running
+        it is wasteful but harmless.
+        """
+        affected = sorted(set(crashed) | {
+            index for index, _stamp in inflight.values()
+        })
+        inflight.clear()
+        self._discard_pool()
+        cause = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        for index in affected:
+            self._charge(
+                index, "crash",
+                f"worker crashed (attempt {attempts[index] + 1}): {cause}",
+                attempts, last_error, fn, perf,
+            )
+        queue.extendleft(reversed(affected))
+        self._backoff_sleep(failures)
+
+    def _recover_timeout(
+        self,
+        expired: Sequence[int],
+        inflight: Dict["Future[TaskOutcome]", Tuple[int, float]],
+        queue: Deque[int],
+        attempts: Dict[int, int],
+        last_error: Dict[int, str],
+        fn: Callable[[Any], Any],
+        perf: Optional[Any],
+        failures: int,
+    ) -> None:
+        """Rebuild after an expired deadline and requeue the fallout.
+
+        A worker that blew its deadline may be wedged for good, and the
+        only safe reclaim under fork is to rebuild the pool — so still-
+        healthy in-flight tasks are requeued too, without being charged
+        an attempt.
+        """
+        expired_set = set(expired)
+        survivors = sorted(
+            index for index, _stamp in inflight.values()
+            if index not in expired_set
+        )
+        inflight.clear()
+        self._discard_pool()
+        for index in sorted(expired_set):
+            self._charge(
+                index, "timeout",
+                f"deadline of {self._task_timeout_s}s expired "
+                f"(attempt {attempts[index] + 1})",
+                attempts, last_error, fn, perf,
+            )
+        queue.extendleft(reversed(sorted(expired_set) + survivors))
+        self._backoff_sleep(failures)
+
+    def _backoff_sleep(self, failures: int) -> None:
+        """Capped exponential pause before re-dispatching after failure."""
+        if self._retry_backoff_s <= 0:
+            return
+        delay = min(
+            self._retry_backoff_cap_s,
+            self._retry_backoff_s * (2.0 ** (failures - 1)),
+        )
+        if delay > 0:
+            time.sleep(delay)
+
+    def _discard_pool(self) -> None:
+        """Drop the executor, reaping any surviving worker processes.
+
+        Clears the reference *first* so a failure mid-teardown can
+        never leave a broken executor installed (and ``close()`` after
+        a crash stays a no-op instead of touching a dead pool).
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        # Private, but the only handle on fork workers that may be
+        # wedged mid-task: shutdown() alone would wait on them forever.
+        workers = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=1.0)
+
     def shutdown(self) -> None:
-        """Tear down the pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        """Tear down the pool (idempotent, even across pool rebuilds)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown()
+
+    def close(self) -> None:
+        """Alias of :meth:`shutdown`, mirroring file-like teardown."""
+        self.shutdown()
 
 
 _ACTIVE: ContextVar[Optional[TaskScheduler]] = ContextVar(

@@ -114,11 +114,29 @@ class PerfCollector:
         self._tasks: List[TaskPerf] = []
         self._span_s = 0.0
         self._total_announced = 0
+        self._retries = 0
+        self._timeouts = 0
 
     # -- the scheduler-facing hook protocol -----------------------------
 
     def on_map_begin(self, total: int) -> None:
         self._total_announced += total
+
+    def record_retry(self, index: int, kind: str = "crash") -> None:
+        """Charge one supervised-mode re-dispatch to this collector.
+
+        ``kind`` is ``"crash"`` (worker died, ``BrokenProcessPool``) or
+        ``"timeout"`` (per-task deadline expired); the two are summed
+        separately into ``worker_retries``/``worker_timeouts``.  The
+        task index is accepted for symmetry with ``record_task`` but
+        retries are charged in aggregate — a retried attempt that later
+        completes still reports its own ``record_task``.
+        """
+        del index
+        if kind == "timeout":
+            self._timeouts += 1
+        else:
+            self._retries += 1
 
     def record_task(
         self,
@@ -153,6 +171,26 @@ class PerfCollector:
     def tasks(self) -> List[TaskPerf]:
         return list(self._tasks)
 
+    def stragglers(self, wall_ratio: float = 4.0) -> List[int]:
+        """Task indices whose attempt ran ``wall_ratio`` × the mean wall.
+
+        The queue-wait stats already summarised in ``worker_queue_wait_*``
+        say whether units *waited* unusually long; this names the units
+        that *ran* unusually long — the candidates for a tighter
+        ``task_timeout_s``.  Deterministic given the recorded perf data.
+        """
+        if wall_ratio <= 0:
+            raise ValueError(f"wall_ratio must be > 0, got {wall_ratio}")
+        tasks = self._tasks
+        if not tasks:
+            return []
+        mean_s = sum(t.wall_s for t in tasks) / len(tasks)
+        if mean_s <= 0:
+            return []
+        return sorted(
+            t.index for t in tasks if t.wall_s >= wall_ratio * mean_s
+        )
+
     def summary(self) -> Dict[str, float]:
         """The ``worker_*`` metrics merged into a figure's manifest.
 
@@ -186,6 +224,8 @@ class PerfCollector:
             ),
             "worker_events": float(events),
             "worker_events_per_sec": (events / span_s) if span_s else 0.0,
+            "worker_retries": float(self._retries),
+            "worker_timeouts": float(self._timeouts),
             "worker_cache_hits": float(sum(t.cache_hits for t in tasks)),
             "worker_cache_misses": float(
                 sum(t.cache_misses for t in tasks)

@@ -10,6 +10,7 @@ import pytest
 from repro.errors import RegistryError
 from repro.obs.manifest import RunManifest
 from repro.obs.registry import (
+    RegistryWarning,
     RunRecord,
     RunRegistry,
     manifest_run_id,
@@ -84,13 +85,24 @@ class TestAppendAndQuery:
         with pytest.raises(RegistryError, match="holds no runs"):
             RunRegistry(tmp_path).find("-1")
 
-    def test_corrupt_index_line_raises(self, tmp_path):
+    def test_corrupt_index_line_is_skipped_with_warning(self, tmp_path):
         registry = RunRegistry(tmp_path)
-        registry.append(_manifest())
+        kept = registry.append(_manifest()).record
         with open(registry.index_path, "a", encoding="utf-8") as handle:
-            handle.write("{not json\n")
-        with pytest.raises(RegistryError, match="corrupt"):
-            registry.records()
+            handle.write("{not json\n")  # the torn tail a SIGKILL leaves
+        with pytest.warns(RegistryWarning, match="torn append"):
+            records = registry.records()
+        assert [r.run_id for r in records] == [kept.run_id]
+
+    def test_registry_stays_appendable_after_a_torn_line(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        first = registry.append(_manifest(stamp=1.0)).record
+        with open(registry.index_path, "a", encoding="utf-8") as handle:
+            handle.write('{"half": "a rec\n')  # no run_id: malformed
+        second = registry.append(_manifest(stamp=2.0)).record
+        with pytest.warns(RegistryWarning):
+            ids = [r.run_id for r in registry.records()]
+        assert ids == [first.run_id, second.run_id]
 
     def test_summary_carries_headline_metrics(self, tmp_path):
         registry = RunRegistry(tmp_path)
@@ -175,6 +187,14 @@ class TestConcurrency:
                 payload = json.loads(line)
                 archive = tmp_path / "manifests" / f"{payload['run_id']}.json"
                 assert archive.exists()
+
+
+class TestJournalHousing:
+    def test_journal_paths_live_under_the_registry_root(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        assert registry.journal_dir == tmp_path / "journals"
+        path = registry.journal_path("f198fcb28d3f")
+        assert path == tmp_path / "journals" / "f198fcb28d3f.jsonl"
 
 
 class TestResolve:

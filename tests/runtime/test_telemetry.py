@@ -84,6 +84,33 @@ class TestPerfCollectorMath:
         with pytest.raises(ValueError):
             PerfCollector(jobs=0)
 
+    def test_retries_and_timeouts_flow_into_the_summary(self):
+        collector = PerfCollector(jobs=2)
+        collector.record_retry(0, kind="crash")
+        collector.record_retry(1, kind="crash")
+        collector.record_retry(2, kind="timeout")
+        summary = collector.summary()
+        assert summary["worker_retries"] == 2.0
+        assert summary["worker_timeouts"] == 1.0
+
+    def test_clean_runs_report_zero_retries(self):
+        summary = PerfCollector(jobs=2).summary()
+        assert summary["worker_retries"] == 0.0
+        assert summary["worker_timeouts"] == 0.0
+
+    def test_stragglers_names_outlier_task_indices(self):
+        collector = PerfCollector(jobs=4)
+        collector.on_map_begin(5)
+        for index in range(4):
+            collector.record_task(index, {"wall_s": 1.0}, None)
+        collector.record_task(4, {"wall_s": 50.0}, None)
+        # mean = 10.8; only the 50s task crosses 4x the mean.
+        assert collector.stragglers() == [4]
+        assert collector.stragglers(wall_ratio=1.0) == [4]
+        assert PerfCollector(jobs=2).stragglers() == []
+        with pytest.raises(ValueError):
+            collector.stragglers(wall_ratio=0.0)
+
 
 class TestProgressReporter:
     def test_reports_progress_and_final_line(self):
