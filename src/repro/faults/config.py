@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.errors import ProbingError
-from repro.types import NodeId
+from repro.types import Ms, NodeId
 from repro.utils.validation import (
     check_fraction,
     check_in_range,
@@ -39,13 +39,13 @@ class FaultConfig:
     #: Sized to edge-RTT scale (a few × the largest expected RTT): a
     #: retried slot's end-to-end timing includes this wait, so an
     #: outsized timeout would make any loss saturate the measurement.
-    probe_timeout_ms: float = 500.0
+    probe_timeout_ms: Ms = 500.0
     #: bounded retries per lost probe before the slot gives up
     max_retries: int = 2
     #: first retry backoff (ms); doubles per retry up to the cap
-    backoff_base_ms: float = 50.0
+    backoff_base_ms: Ms = 50.0
     #: ceiling on one retry's backoff delay (ms)
-    backoff_cap_ms: float = 1000.0
+    backoff_cap_ms: Ms = 1000.0
     #: unordered node pairs whose probes are always lost
     blackhole_pairs: Tuple[Tuple[NodeId, NodeId], ...] = ()
     #: (node_a, node_b, factor >= 1) triples inflating observed RTTs

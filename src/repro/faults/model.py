@@ -24,7 +24,7 @@ import numpy as np
 from repro.errors import ProbingError
 from repro.faults.config import FaultConfig
 from repro.landmarks.base import LandmarkSet
-from repro.types import NodeId
+from repro.types import Ms, NodeId
 from repro.utils.rng import RngFactory
 
 
@@ -108,7 +108,7 @@ class FaultModel:
         """The content-keyed loss/retry stream for one ordered pair."""
         return self._factory.stream(f"loss/{source}-{target}")
 
-    def backoff_ms(self, attempt: int) -> float:
+    def backoff_ms(self, attempt: int) -> Ms:
         """Capped exponential backoff before retry ``attempt`` (1-based)."""
         base = self._config.backoff_base_ms
         return float(min(base * (2 ** (attempt - 1)),

@@ -50,6 +50,14 @@ from repro.lint.runner import (
     lint_source,
 )
 from repro.lint.source import SourceFile
+from repro.lint.units import (
+    UNIT_RULES,
+    UnitAnalysis,
+    analyze_units,
+    unit_findings,
+    unit_report,
+    unit_rule_catalog,
+)
 
 __all__ = [
     "Baseline",
@@ -67,6 +75,9 @@ __all__ = [
     "SimulatedTimeChecker",
     "SourceFile",
     "SwallowedExceptionChecker",
+    "UNIT_RULES",
+    "UnitAnalysis",
+    "analyze_units",
     "default_checkers",
     "iter_python_files",
     "lint_paths",
@@ -77,4 +88,7 @@ __all__ = [
     "rule_catalog",
     "run_project_passes",
     "sort_findings",
+    "unit_findings",
+    "unit_report",
+    "unit_rule_catalog",
 ]

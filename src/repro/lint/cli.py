@@ -12,6 +12,13 @@ run, which includes the same four rules.  The JSON output is
 deterministic (sorted keys, canonical ordering) so CI can diff it as
 an artifact.
 
+``repro lint units [PATHS] [--function QUALNAME] [--format json]``
+dumps the per-function unit/time-domain table from the dimensional
+analysis (see :mod:`repro.lint.units`): every function's parameter and
+return units plus the four dimensional-rule findings.  Like ``effects``
+mode it always exits 0 — the gate is the regular ``repro lint`` run —
+and the JSON is byte-deterministic for CI artifact diffing.
+
 ``--update-baseline`` rewrites the baseline and exits 0: the ratchet
 workflow is *fix what you can, then re-baseline the remainder
 deliberately* (the diff shows what was grandfathered, so it is
@@ -44,12 +51,12 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src); the first "
-             "path may be the literal 'effects' to dump the effect "
-             "table instead of gating",
+             "path may be the literal 'effects' or 'units' to dump the "
+             "effect or unit table instead of gating",
     )
     parser.add_argument(
         "--function", metavar="QUALNAME", dest="effects_function",
-        help="effects mode: restrict the table to one function "
+        help="effects/units mode: restrict the table to one function "
              "(module:qualname, qualname, or bare name)",
     )
     parser.add_argument(
@@ -116,6 +123,9 @@ def run_lint(
 
     if args.paths and args.paths[0] == "effects":
         return run_effects(args, out, err)
+
+    if args.paths and args.paths[0] == "units":
+        return run_units(args, out, err)
 
     baseline, baseline_path, code = _resolve_baseline(args, err)
     if code != 0:
@@ -193,6 +203,98 @@ def run_effects(
     _render_effects_text(payload, out, full=args.effects_function
                          is not None or args.verbose)
     return 0
+
+
+def run_units(
+    args: argparse.Namespace, out: TextIO, err: TextIO
+) -> int:
+    """Execute ``repro lint units ...``; always 0 unless usage error."""
+    # Lazy for the same reason as effects: plain lint runs build the
+    # model once inside run_project_passes.
+    from repro.lint.findings import Finding
+    from repro.lint.project import ProjectModel
+    from repro.lint.runner import display_path, iter_python_files
+    from repro.lint.source import SourceFile
+    from repro.lint.units import analyze_units, unit_findings, unit_report
+
+    raw_paths = args.paths[1:] or ["src"]
+    try:
+        files = list(iter_python_files([Path(p) for p in raw_paths]))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=err)
+        return 2
+    sources = [
+        SourceFile(display_path(file), file.read_text(encoding="utf-8"))
+        for file in files
+    ]
+    model = ProjectModel.build(sources)
+    analysis = analyze_units(model)
+    by_path = {s.display_path: s for s in sources}
+    findings: List[Finding] = []
+    for finding in unit_findings(analysis):
+        anchor = by_path.get(finding.path)
+        if anchor is None or not anchor.is_suppressed(
+            finding.rule_id, finding.line
+        ):
+            findings.append(finding)
+    payload = unit_report(analysis, findings,
+                          function=args.effects_function)
+    if args.output_format == "json":
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return 0
+    _render_units_text(payload, out, full=args.effects_function
+                       is not None or args.verbose)
+    return 0
+
+
+def _render_units_text(
+    payload: Dict[str, object], out: TextIO, full: bool
+) -> None:
+    functions = cast(List[Dict[str, object]], payload["functions"])
+    findings = cast(List[Dict[str, object]], payload["findings"])
+    dimensioned = 0
+    for row in functions:
+        params = cast(Dict[str, str], row["params"])
+        if row["returns"] != "dimensionless" or any(
+            unit != "dimensionless" for unit in params.values()
+        ):
+            dimensioned += 1
+    print(
+        f"{len(functions)} functions analysed, "
+        f"{dimensioned} carrying time units",
+        file=out,
+    )
+    shown = 0
+    for row in functions:
+        params = cast(Dict[str, str], row["params"])
+        interesting = row["returns"] != "dimensionless" or any(
+            unit != "dimensionless" for unit in params.values()
+        )
+        if not (full or interesting):
+            continue
+        shown += 1
+        rendered = ", ".join(
+            f"{name}: {unit}" for name, unit in params.items()
+            if full or unit != "dimensionless"
+        )
+        print(
+            f"  {row['function']}  ({rendered}) -> {row['returns']}",
+            file=out,
+        )
+    hidden = len(functions) - shown
+    if hidden > 0:
+        print(f"  ... and {hidden} dimensionless functions "
+              f"(--verbose shows all)", file=out)
+    if findings:
+        print(f"{len(findings)} unit finding(s):", file=out)
+        for item in findings:
+            print(
+                f"  {item['path']}:{item['line']}: {item['rule']}: "
+                f"{item['message']}",
+                file=out,
+            )
+    else:
+        print("no unit findings", file=out)
 
 
 def _render_effects_text(

@@ -694,9 +694,10 @@ def run_project_passes(
     Findings are anchored at definitions/call sites in the analysed
     files, so the usual pragma rules apply at the anchor line.
     """
-    # Imported lazily: effects builds on this module, so a top-level
-    # import would be circular.
+    # Imported lazily: effects/units build on this module, so top-level
+    # imports would be circular.
     from repro.lint.effects import analyze, effect_findings
+    from repro.lint.units import analyze_units, unit_findings
 
     model = ProjectModel.build(sources)
     raw: List[Finding] = [
@@ -704,6 +705,7 @@ def run_project_passes(
         *check_transitive_rng(model),
         *check_stream_labels(model),
         *effect_findings(analyze(model)),
+        *unit_findings(analyze_units(model)),
     ]
     by_path = {s.display_path: s for s in sources}
     kept: List[Finding] = []
@@ -722,8 +724,10 @@ def run_project_passes(
 def project_rule_catalog() -> Dict[str, str]:
     """``rule id -> summary`` for the cross-module rules."""
     from repro.lint.effects import effect_rule_catalog
+    from repro.lint.units import unit_rule_catalog
 
     return {
         **{rule.rule_id: rule.summary for rule in PROJECT_RULES},
         **effect_rule_catalog(),
+        **unit_rule_catalog(),
     }

@@ -1,0 +1,1137 @@
+"""Interprocedural dimensional analysis: units and time domains.
+
+The reproduction juggles three clocks: the *simulated* millisecond
+clock the engine advances (``EventQueue.now_ms``, event
+``timestamp_ms``, RTTs, ``partition_timeout_ms``), the *host* monotonic
+second clock behind :func:`repro.obs.profiling.perf_seconds` (scheduler
+deadlines, retry backoff, bench timing), and the *unix epoch*
+(``RunManifest.created_unix``).  Nothing in Python stops a seconds
+value flowing into a milliseconds slot, or a host-clock stamp being
+compared with sim time — both are plain floats.  This module closes
+that gap the same way :mod:`repro.lint.effects` closed the effect gap:
+a whole-program pass over the PR 5 call graph.
+
+Every function gets a **unit summary** — a lattice point per parameter
+plus one for its return value — inferred from three sources and joined
+to a fixpoint over the call graph:
+
+* **naming conventions** — ``*_ms`` is milliseconds, ``*_s`` /
+  ``*_sec`` / ``*_seconds`` is seconds, ``*_unix`` is a unix-epoch
+  timestamp; duration words (``timeout``, ``rtt``, ``backoff``, ...)
+  and timestamp words (``now``, ``deadline``, ``created``, ...) set
+  the duration-vs-timestamp role;
+* **provenance anchors** — ``perf_seconds()`` yields host-seconds,
+  ``time.time()`` yields unix-epoch, the ``.now_ms`` /
+  ``.timestamp_ms`` attributes are the simulated clock, and the
+  :mod:`repro.types` aliases (``Ms``/``Seconds``/``SimMs``/
+  ``UnixSeconds``) declare units in annotations;
+* **propagation** — through assignments, arithmetic (``timestamp -
+  timestamp`` is a duration, ``timestamp + duration`` a timestamp,
+  scaling by a dimensionless factor preserves the unit), returns, and
+  call-argument binding.  The per-field lattice is ``unknown <
+  concrete < mixed``, so the worklist converges on recursive and
+  mutually-recursive call chains.
+
+The lattice element is ``scale x domain x role``:
+
+* ``scale`` — ``ms`` | ``s`` (the dimension; unknown = dimensionless);
+* ``domain`` — ``sim`` | ``host`` | ``epoch`` (which clock);
+* ``role`` — ``duration`` | ``timestamp``.
+
+Four rules consume the summaries (pragma-suppressible at the reported
+line, baseline-integrated like every other rule):
+
+* ``unit-mismatch`` — a milliseconds value meets a seconds value: in
+  ``+``/``-``/comparison arithmetic, in an assignment to a
+  unit-suffixed name, or flowing into a call parameter whose declared
+  unit differs;
+* ``time-domain-mixing`` — sim, host and epoch clocks are unrelated
+  timelines; arithmetic or bindings mixing them are reported with the
+  provenance chain of each side (anchor, and the call chain a domain
+  travelled through);
+* ``magic-unit-conversion`` — a bare ``* 1000`` / ``/ 1000`` on a time
+  value: route conversions through :func:`repro.types.ms_to_s` /
+  :func:`repro.types.s_to_ms` (the helpers' home module is exempt);
+* ``unitless-duration-boundary`` — a public function parameter that
+  names a duration/timestamp (``timeout``, ``rtt``, ``deadline``, ...)
+  but carries neither a unit suffix nor a :mod:`repro.types` time
+  annotation, so call sites cannot know what to pass.
+
+Precision notes: the analysis is flow-insensitive within a statement
+list (last assignment wins, loop bodies are visited once), container
+element units survive subscripting but not literal construction, and
+attribute state is inferred from the attribute's *name* only.  Units
+never override a declared (name/annotation) unit at a parameter — the
+declaration is ground truth and a conflicting inflow is the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.base import Rule
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.project import MODULE_SCOPE, ModuleInfo, ProjectModel, _RawCall
+
+UNIT_MISMATCH = "unit-mismatch"
+TIME_DOMAIN_MIXING = "time-domain-mixing"
+MAGIC_UNIT_CONVERSION = "magic-unit-conversion"
+UNITLESS_DURATION_BOUNDARY = "unitless-duration-boundary"
+
+UNIT_RULES: Tuple[Rule, ...] = (
+    Rule(UNIT_MISMATCH,
+         "milliseconds value meets a seconds value in arithmetic, "
+         "assignment, or call-argument binding"),
+    Rule(TIME_DOMAIN_MIXING,
+         "simulated, host-monotonic, and unix-epoch clock values mixed "
+         "in arithmetic or a call binding"),
+    Rule(MAGIC_UNIT_CONVERSION,
+         "bare * 1000 / / 1000 time conversion outside the sanctioned "
+         "repro.types helpers"),
+    Rule(UNITLESS_DURATION_BOUNDARY,
+         "public duration/timestamp parameter with no unit suffix or "
+         "repro.types time annotation"),
+)
+
+#: Top element of each lattice field: two different concrete values met.
+MIXED = "mixed"
+
+_CONCRETE_SCALES = ("ms", "s")
+_CONCRETE_DOMAINS = ("sim", "host", "epoch")
+
+#: The conversion helpers live here; its internals are exempt from
+#: ``magic-unit-conversion`` (something has to hold the bare factor).
+_CONVERSION_HOME = "repro.types"
+
+#: Longest-match-first unit suffixes on names and attributes.
+_SCALE_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_seconds", "s"),
+    ("_secs", "s"),
+    ("_sec", "s"),
+    ("_unix", "s"),
+    ("_ms", "ms"),
+    ("_s", "s"),
+)
+
+#: Suffixes marking a value as explicitly dimensionless even when the
+#: name contains a time word (``wall_ratio``, ``request_rate_rps``).
+_DIMENSIONLESS_SUFFIXES = (
+    "_ratio", "_frac", "_fraction", "_pct", "_percent", "_rate", "_rps",
+    "_count", "_counts", "_factor", "_scale", "_mult", "_multiplier",
+    "_prob", "_probability", "_share", "_per_core",
+)
+
+#: Name parts implying the duration role.
+_DURATION_WORDS = frozenset({
+    "timeout", "timeouts", "rtt", "rtts", "latency", "latencies",
+    "backoff", "elapsed", "duration", "durations", "interval",
+    "intervals", "delay", "delays", "ttl", "expiry", "wait", "waits",
+    "lag", "wall", "uptime", "age",
+})
+
+#: Name parts implying the timestamp role.
+_TIMESTAMP_WORDS = frozenset({
+    "now", "deadline", "deadlines", "timestamp", "timestamps",
+    "created", "started", "submitted", "until", "expires", "at",
+})
+
+#: Duration/timestamp words that *demand* a unit suffix on a public
+#: parameter (``unitless-duration-boundary``).  Narrower than the role
+#: words: only names where the unit genuinely matters at the boundary.
+_BOUNDARY_WORDS = frozenset({
+    "timeout", "timeouts", "deadline", "deadlines", "rtt", "rtts",
+    "latency", "latencies", "backoff", "duration", "durations",
+    "interval", "intervals", "delay", "delays", "ttl", "expiry",
+    "elapsed", "timestamp", "timestamps",
+})
+
+#: Known clock reads, by resolved dotted call target.
+_CALL_ANCHORS: Dict[str, "Unit"] = {}  # populated below Unit
+
+#: Attribute names that *are* the simulated clock, wherever they appear.
+_SIM_CLOCK_ATTRS = frozenset({"now_ms", "timestamp_ms"})
+
+#: ``repro.types`` aliases recognised in annotations.
+_ANNOTATION_UNITS: Dict[str, "Unit"] = {}  # populated below Unit
+
+#: Builtins whose result carries the joined unit of their arguments.
+_UNIT_PRESERVING_BUILTINS = frozenset({
+    "min", "max", "abs", "round", "float", "sum", "sorted",
+})
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One point of the ``scale x domain x role`` lattice.
+
+    ``None`` is the bottom (unknown) element of each field and
+    :data:`MIXED` the top; everything in between is a concrete value.
+    """
+
+    scale: Optional[str] = None    # "ms" | "s" | MIXED
+    domain: Optional[str] = None   # "sim" | "host" | "epoch" | MIXED
+    role: Optional[str] = None     # "duration" | "timestamp" | MIXED
+
+    def is_empty(self) -> bool:
+        return self.scale is None and self.domain is None and (
+            self.role is None
+        )
+
+    def label(self) -> str:
+        """Deterministic human-readable rendering for messages/tables."""
+        if self.is_empty():
+            return "dimensionless"
+        bits: List[str] = []
+        if self.domain is not None:
+            bits.append("unix" if self.domain == "epoch" else self.domain)
+        if self.scale is not None:
+            bits.append(self.scale)
+        base = "-".join(bits) if bits else "time"
+        if self.role is not None:
+            base = f"{base} {self.role}"
+        return base
+
+
+_CALL_ANCHORS.update({
+    "repro.obs.profiling.perf_seconds": Unit("s", "host", "timestamp"),
+    "time.time": Unit("s", "epoch", "timestamp"),
+    "time.perf_counter": Unit("s", "host", "timestamp"),
+    "time.monotonic": Unit("s", "host", "timestamp"),
+    "time.process_time": Unit("s", "host", "timestamp"),
+    "time.thread_time": Unit("s", "host", "timestamp"),
+})
+
+_ANNOTATION_UNITS.update({
+    "Ms": Unit("ms"),
+    "Seconds": Unit("s", "host"),
+    "SimMs": Unit("ms", "sim"),
+    "UnixSeconds": Unit("s", "epoch", "timestamp"),
+})
+
+
+def _join_field(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    if a is None:
+        return b
+    if b is None or a == b:
+        return a
+    return MIXED
+
+
+def join(a: Unit, b: Unit) -> Unit:
+    """Pointwise lattice join (``unknown < concrete < mixed``)."""
+    return Unit(
+        scale=_join_field(a.scale, b.scale),
+        domain=_join_field(a.domain, b.domain),
+        role=_join_field(a.role, b.role),
+    )
+
+
+def unit_from_name(name: str) -> Unit:
+    """Unit implied by a bare identifier or attribute name."""
+    lowered = name.lower()
+    for suffix in _DIMENSIONLESS_SUFFIXES:
+        if lowered.endswith(suffix):
+            return Unit()
+    scale: Optional[str] = None
+    domain: Optional[str] = None
+    role: Optional[str] = None
+    for suffix, implied in _SCALE_SUFFIXES:
+        if lowered.endswith(suffix):
+            scale = implied
+            break
+    parts = lowered.split("_")
+    if "unix" in parts or "epoch" in parts:
+        domain = "epoch"
+        scale = scale or "s"
+        role = "timestamp"
+    if role is None:
+        if any(part in _TIMESTAMP_WORDS for part in parts):
+            role = "timestamp"
+        elif any(part in _DURATION_WORDS for part in parts):
+            role = "duration"
+    return Unit(scale=scale, domain=domain, role=role)
+
+
+def unit_from_annotation(
+    node: Optional[ast.expr], info: ModuleInfo
+) -> Unit:
+    """Unit declared by a :mod:`repro.types` time alias annotation."""
+    if node is None:
+        return Unit()
+    if isinstance(node, ast.Subscript):
+        # Optional[Ms] / Optional["Seconds"] — look inside the wrapper.
+        return unit_from_annotation(node.slice, info)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _ANNOTATION_UNITS.get(node.value.split(".")[-1], Unit())
+    resolved = info.source.resolve(node)
+    terminal: Optional[str] = None
+    if resolved is not None:
+        terminal = resolved.split(".")[-1]
+    elif isinstance(node, ast.Name):
+        terminal = node.id
+    elif isinstance(node, ast.Attribute):
+        terminal = node.attr
+    if terminal is None:
+        return Unit()
+    return _ANNOTATION_UNITS.get(terminal, Unit())
+
+
+# -- the per-function definition table --------------------------------
+
+
+@dataclass
+class _FnDef:
+    """One function's static shape: params, declared units, body."""
+
+    key: str
+    module: str
+    qualname: str
+    path: str
+    line: int
+    params: List[str]
+    declared: Dict[str, Unit]
+    body: Sequence[ast.stmt]
+    enclosing_class: Optional[str]
+    public: bool
+    node: Optional[ast.AST] = None
+
+
+@dataclass
+class FnUnits:
+    """The evolving interprocedural summary of one function."""
+
+    params: Dict[str, Unit] = field(default_factory=dict)
+    returns: Unit = field(default_factory=Unit)
+    #: ``param -> provenance chain`` recording where a *flowed* clock
+    #: domain came from; set once (first concrete inflow) so chains
+    #: stay stable across fixpoint rounds.
+    param_origin: Dict[str, str] = field(default_factory=dict)
+    return_origin: Optional[str] = None
+
+
+def _is_public_qualname(qualname: str) -> bool:
+    for segment in qualname.split("."):
+        if segment.startswith("_") and not (
+            segment.startswith("__") and segment.endswith("__")
+        ):
+            return False
+    return True
+
+
+class _DefCollector:
+    """Mirror of the project/effects scope walk, collecting defs."""
+
+    def __init__(self, info: ModuleInfo, defs: Dict[str, _FnDef]) -> None:
+        self._info = info
+        self._defs = defs
+
+    def run(self) -> None:
+        info = self._info
+        module_key = f"{info.name}:{MODULE_SCOPE}"
+        self._defs[module_key] = _FnDef(
+            key=module_key, module=info.name, qualname=MODULE_SCOPE,
+            path=info.source.display_path, line=1, params=[],
+            declared={}, body=info.source.tree.body,
+            enclosing_class=None, public=False,
+        )
+        self._walk_body(info.source.tree.body, scope=(),
+                        enclosing_class=None)
+
+    def _walk_body(
+        self, body: Sequence[ast.stmt], scope: Tuple[str, ...],
+        enclosing_class: Optional[str],
+    ) -> None:
+        for stmt in body:
+            self._walk(stmt, scope, enclosing_class)
+
+    def _walk(
+        self, node: ast.AST, scope: Tuple[str, ...],
+        enclosing_class: Optional[str],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = ".".join((*scope, node.name))
+            key = f"{self._info.name}:{qualname}"
+            args = node.args
+            ordered = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            params = [arg.arg for arg in ordered]
+            declared = {
+                arg.arg: join(
+                    unit_from_name(arg.arg),
+                    unit_from_annotation(arg.annotation, self._info),
+                )
+                for arg in ordered
+            }
+            self._defs[key] = _FnDef(
+                key=key, module=self._info.name, qualname=qualname,
+                path=self._info.source.display_path, line=node.lineno,
+                params=params, declared=declared, body=node.body,
+                enclosing_class=enclosing_class,
+                public=_is_public_qualname(qualname), node=node,
+            )
+            self._walk_body(node.body, (*scope, node.name),
+                            enclosing_class)
+            return
+        if isinstance(node, ast.ClassDef):
+            qualname = ".".join((*scope, node.name))
+            self._walk_body(node.body, (*scope, node.name), qualname)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, scope, enclosing_class)
+
+
+# -- the analysis container -------------------------------------------
+
+
+@dataclass
+class UnitAnalysis:
+    """Computed unit tables for one :class:`ProjectModel`."""
+
+    model: ProjectModel
+    defs: Dict[str, _FnDef]
+    summaries: Dict[str, FnUnits]
+    findings: List[Finding] = field(default_factory=list)
+
+    def summary(self, key: str) -> FnUnits:
+        return self.summaries[key]
+
+
+#: One evaluated expression: its unit and a provenance note for
+#: messages (``None`` when there is nothing interesting to say).
+_Val = Tuple[Unit, Optional[str]]
+
+
+class _BodyAnalyzer:
+    """One forward pass over one function body.
+
+    During fixpoint rounds (``report=False``) it only propagates units
+    into callee summaries and the function's return unit; in the final
+    reporting pass it also emits findings (summaries are stable by
+    then, so the extra pass changes nothing).
+    """
+
+    def __init__(
+        self, analysis: UnitAnalysis, fn: _FnDef, report: bool
+    ) -> None:
+        self._a = analysis
+        self._fn = fn
+        self._info = analysis.model.modules[fn.module]
+        self._report = report
+        self._changed = False
+        self.findings: List[Finding] = []
+        summary = analysis.summaries[fn.key]
+        self._env: Dict[str, _Val] = {}
+        for name in fn.params:
+            unit = summary.params[name]
+            why = f"parameter '{name}'"
+            origin = summary.param_origin.get(name)
+            if origin is not None:
+                why = f"{why} <- {origin}"
+            self._env[name] = (unit, why)
+        self._ret = Unit()
+        self._ret_why: Optional[str] = None
+
+    # -- driver -------------------------------------------------------
+
+    def run(self) -> bool:
+        for stmt in self._fn.body:
+            self._stmt(stmt)
+        summary = self._a.summaries[self._fn.key]
+        new_ret = join(summary.returns, self._ret)
+        if new_ret != summary.returns:
+            summary.returns = new_ret
+            self._changed = True
+        if (
+            summary.return_origin is None
+            and new_ret.domain in _CONCRETE_DOMAINS
+            and self._ret_why is not None
+        ):
+            summary.return_origin = self._ret_why
+        return self._changed
+
+    # -- findings -----------------------------------------------------
+
+    def _emit(self, rule_id: str, line: int, message: str) -> None:
+        if not self._report:
+            return
+        if self._info.source.is_suppressed(rule_id, line):
+            return
+        self.findings.append(Finding(
+            rule_id=rule_id, path=self._fn.path, line=line,
+            message=message,
+        ))
+
+    @staticmethod
+    def _describe(unit: Unit, why: Optional[str]) -> str:
+        return f"{unit.label()} ({why})" if why else unit.label()
+
+    # -- statements ---------------------------------------------------
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # separate function key; analysed on its own
+        if isinstance(node, ast.ClassDef):
+            # Class bodies execute in the enclosing scope (matches the
+            # call-graph ownership rules) — dataclass fields included.
+            for stmt in node.body:
+                self._stmt(stmt)
+            return
+        if isinstance(node, ast.Assign):
+            value = self._eval(node.value)
+            for target in node.targets:
+                self._assign(target, value, node.lineno)
+            return
+        if isinstance(node, ast.AnnAssign):
+            declared = unit_from_annotation(node.annotation, self._info)
+            value = (Unit(), None) if node.value is None else (
+                self._eval(node.value)
+            )
+            merged = (join(declared, value[0]), value[1])
+            self._assign(node.target, merged, node.lineno,
+                         annotation=declared)
+            return
+        if isinstance(node, ast.AugAssign):
+            target = self._load_target(node.target)
+            value = self._eval(node.value)
+            self._combine_additive(target, value, node.lineno,
+                                   op_label=type(node.op).__name__)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                unit, why = self._eval(node.value)
+                self._ret = join(self._ret, unit)
+                if self._ret_why is None and why is not None and (
+                    unit.domain in _CONCRETE_DOMAINS
+                ):
+                    self._ret_why = why
+            return
+        if isinstance(node, ast.Expr):
+            self._eval(node.value)
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self._eval(node.test)
+            for stmt in (*node.body, *node.orelse):
+                self._stmt(stmt)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterated = self._eval(node.iter)
+            if isinstance(node.target, ast.Name):
+                # Element units survive iteration (a list of RTTs in ms
+                # yields ms entries).
+                self._env[node.target.id] = (
+                    join(iterated[0], unit_from_name(node.target.id)),
+                    iterated[1],
+                )
+            for stmt in (*node.body, *node.orelse):
+                self._stmt(stmt)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                value = self._eval(item.context_expr)
+                if isinstance(item.optional_vars, ast.Name):
+                    self._env[item.optional_vars.id] = value
+            for stmt in node.body:
+                self._stmt(stmt)
+            return
+        if isinstance(node, ast.Try):
+            for stmt in node.body:
+                self._stmt(stmt)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self._stmt(stmt)
+            for stmt in (*node.orelse, *node.finalbody):
+                self._stmt(stmt)
+            return
+        if isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self._eval(node.exc)
+            return
+        if isinstance(node, ast.Assert):
+            self._eval(node.test)
+            if node.msg is not None:
+                self._eval(node.msg)
+            return
+        # Import / Global / Pass / Delete / ... — nothing to track.
+
+    def _load_target(self, node: ast.expr) -> _Val:
+        if isinstance(node, ast.Name):
+            return self._env.get(
+                node.id,
+                (unit_from_name(node.id), f"name '{node.id}'"),
+            )
+        if isinstance(node, ast.Attribute):
+            return (unit_from_name(node.attr),
+                    f"attribute '.{node.attr}'")
+        return (Unit(), None)
+
+    def _assign(
+        self,
+        target: ast.expr,
+        value: _Val,
+        line: int,
+        annotation: Optional[Unit] = None,
+    ) -> None:
+        unit, why = value
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, (Unit(), None), line)
+            return
+        name: Optional[str] = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name is None:
+            return
+        declared = unit_from_name(name)
+        if annotation is not None:
+            declared = join(declared, annotation)
+        if (
+            declared.scale in _CONCRETE_SCALES
+            and unit.scale in _CONCRETE_SCALES
+            and declared.scale != unit.scale
+        ):
+            self._emit(UNIT_MISMATCH, line, (
+                f"assignment to '{name}' ({declared.label()}) from a "
+                f"{self._describe(unit, why)} value; convert explicitly "
+                f"via repro.types.ms_to_s/s_to_ms"
+            ))
+        if (
+            declared.domain in _CONCRETE_DOMAINS
+            and unit.domain in _CONCRETE_DOMAINS
+            and declared.domain != unit.domain
+        ):
+            self._emit(TIME_DOMAIN_MIXING, line, (
+                f"assignment to '{name}' ({declared.label()}) from a "
+                f"{self._describe(unit, why)} value; simulated, host, "
+                f"and unix-epoch clocks are unrelated timelines"
+            ))
+        if isinstance(target, ast.Name):
+            # The declared unit is ground truth where it exists; the
+            # flowed value fills in what the name leaves open.
+            self._env[target.id] = (join(declared, unit), why)
+
+    # -- expressions --------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> _Val:
+        if isinstance(node, ast.Name):
+            if node.id in self._env:
+                return self._env[node.id]
+            unit = unit_from_name(node.id)
+            return (unit, None if unit.is_empty() else
+                    f"name '{node.id}'")
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.Compare):
+            values = [self._eval(node.left)]
+            for comparator in node.comparators:
+                values.append(self._eval(comparator))
+            for left, right in zip(values, values[1:]):
+                self._check_pair(left, right, node.lineno, "comparison")
+            return (Unit(), None)
+        if isinstance(node, ast.BoolOp):
+            out: _Val = (Unit(), None)
+            for value in node.values:
+                evaluated = self._eval(value)
+                out = (join(out[0], evaluated[0]), out[1] or evaluated[1])
+            return out
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            body = self._eval(node.body)
+            orelse = self._eval(node.orelse)
+            return (join(body[0], orelse[0]), body[1] or orelse[1])
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Subscript):
+            value = self._eval(node.value)
+            if isinstance(node.slice, ast.expr):
+                self._eval(node.slice)
+            return value
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                self._eval(generator.iter)
+            element = self._eval(node.elt)
+            return element
+        if isinstance(node, ast.DictComp):
+            for generator in node.generators:
+                self._eval(generator.iter)
+            self._eval(node.key)
+            self._eval(node.value)
+            return (Unit(), None)
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._eval(value.value)
+            return (Unit(), None)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out = (Unit(), None)
+            for element in node.elts:
+                evaluated = self._eval(element)
+                out = (join(out[0], evaluated[0]), out[1] or evaluated[1])
+            return out
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self._eval(key)
+            for value in node.values:
+                self._eval(value)
+            return (Unit(), None)
+        if isinstance(node, ast.Lambda):
+            return (Unit(), None)  # deferred body: separate concern
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value)
+            self._assign(node.target, value, node.lineno)
+            return value
+        return (Unit(), None)  # constants and everything else
+
+    def _eval_attribute(self, node: ast.Attribute) -> _Val:
+        if node.attr in _SIM_CLOCK_ATTRS:
+            return (
+                Unit("ms", "sim", "timestamp"),
+                f".{node.attr} (simulated clock)",
+            )
+        if isinstance(node.value, (ast.Call, ast.Subscript,
+                                   ast.Attribute)):
+            self._eval(node.value)  # nested calls still get checked
+        unit = unit_from_name(node.attr)
+        return (unit,
+                None if unit.is_empty() else f"attribute '.{node.attr}'")
+
+    # -- calls --------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> _Val:
+        arg_vals: List[Tuple[ast.expr, _Val]] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                self._eval(arg.value)
+            else:
+                arg_vals.append((arg, self._eval(arg)))
+        kw_vals: List[Tuple[str, ast.expr, _Val]] = []
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                self._eval(keyword.value)
+            else:
+                kw_vals.append(
+                    (keyword.arg, keyword.value,
+                     self._eval(keyword.value))
+                )
+
+        func = node.func
+        resolved = self._info.source.resolve(func)
+        anchor = None if resolved is None else _CALL_ANCHORS.get(resolved)
+        if anchor is not None:
+            return (anchor, f"{resolved}()")
+
+        converter = self._converter_for(func, resolved)
+        if converter is not None and arg_vals:
+            _, (arg_unit, arg_why) = arg_vals[0]
+            return (
+                Unit(scale=converter, domain=arg_unit.domain,
+                     role=arg_unit.role),
+                arg_why,
+            )
+
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _UNIT_PRESERVING_BUILTINS
+            and func.id not in self._info.functions
+        ):
+            out: _Val = (Unit(), None)
+            for _, (unit, why) in arg_vals:
+                out = (join(out[0], unit), out[1] or why)
+            return out
+
+        key = self._resolve_internal(node)
+        if key is not None and key in self._a.defs:
+            self._bind(key, arg_vals, kw_vals)
+            summary = self._a.summaries[key]
+            why: Optional[str] = None
+            if not summary.returns.is_empty():
+                why = f"return of {key}"
+                if summary.return_origin is not None:
+                    why = f"{why} <- {summary.return_origin}"
+            return (summary.returns, why)
+
+        # Unresolved call: fall back to the callee's terminal name.
+        terminal: Optional[str] = None
+        if resolved is not None:
+            terminal = resolved.split(".")[-1]
+        elif isinstance(func, ast.Name):
+            terminal = func.id
+        elif isinstance(func, ast.Attribute):
+            terminal = func.attr
+        if terminal is not None:
+            unit = unit_from_name(terminal)
+            if not unit.is_empty():
+                return (unit, f"call to {terminal}()")
+        return (Unit(), None)
+
+    @staticmethod
+    def _converter_for(
+        func: ast.expr, resolved: Optional[str]
+    ) -> Optional[str]:
+        """Result scale of a sanctioned conversion-helper call."""
+        name: Optional[str] = None
+        if resolved is not None:
+            name = resolved.split(".")[-1]
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name == "ms_to_s":
+            return "s"
+        if name == "s_to_ms":
+            return "ms"
+        return None
+
+    def _resolve_internal(self, node: ast.Call) -> Optional[str]:
+        raw = _RawCall(owner=self._fn.key, node=node,
+                       enclosing_class=self._fn.enclosing_class)
+        edge = self._a.model._resolve_call(self._info, raw)
+        if edge is not None and edge.internal:
+            return edge.target
+        return None
+
+    def _bind(
+        self,
+        callee_key: str,
+        arg_vals: List[Tuple[ast.expr, _Val]],
+        kw_vals: List[Tuple[str, ast.expr, _Val]],
+    ) -> None:
+        callee = self._a.defs[callee_key]
+        summary = self._a.summaries[callee_key]
+        start = 1 if callee.params and callee.params[0] in (
+            "self", "cls"
+        ) else 0
+        pairs: List[Tuple[str, ast.expr, _Val]] = []
+        for index, (arg_node, value) in enumerate(arg_vals):
+            position = start + index
+            if position < len(callee.params):
+                pairs.append((callee.params[position], arg_node, value))
+        for name, arg_node, value in kw_vals:
+            if name in callee.declared:
+                pairs.append((name, arg_node, value))
+        for name, arg_node, (unit, why) in pairs:
+            declared = callee.declared[name]
+            line = getattr(arg_node, "lineno", 1)
+            if (
+                unit.scale in _CONCRETE_SCALES
+                and declared.scale in _CONCRETE_SCALES
+                and unit.scale != declared.scale
+            ):
+                self._emit(UNIT_MISMATCH, line, (
+                    f"{self._fn.qualname} passes a "
+                    f"{self._describe(unit, why)} value into parameter "
+                    f"'{name}' of {callee_key}, declared "
+                    f"{declared.label()}; convert explicitly via "
+                    f"repro.types.ms_to_s/s_to_ms"
+                ))
+            if (
+                unit.domain in _CONCRETE_DOMAINS
+                and declared.domain in _CONCRETE_DOMAINS
+                and unit.domain != declared.domain
+            ):
+                self._emit(TIME_DOMAIN_MIXING, line, (
+                    f"{self._fn.qualname} passes a "
+                    f"{self._describe(unit, why)} value into parameter "
+                    f"'{name}' of {callee_key}, declared "
+                    f"{declared.label()}; simulated, host, and "
+                    f"unix-epoch clocks are unrelated timelines"
+                ))
+            flowed = Unit(
+                scale=unit.scale if declared.scale is None else None,
+                domain=unit.domain if declared.domain is None else None,
+                role=unit.role if declared.role is None else None,
+            )
+            if flowed.is_empty():
+                continue
+            old = summary.params[name]
+            new = join(old, flowed)
+            if new != old:
+                summary.params[name] = new
+                self._changed = True
+            if (
+                new.domain in _CONCRETE_DOMAINS
+                and name not in summary.param_origin
+            ):
+                source = why if why is not None else unit.label()
+                summary.param_origin[name] = (
+                    f"{source} bound at {self._fn.path}:{line} in "
+                    f"{self._fn.qualname}"
+                )
+
+    # -- arithmetic ---------------------------------------------------
+
+    def _check_pair(
+        self, left: _Val, right: _Val, line: int, context: str
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Emit scale/domain conflicts; returns the joined fields
+        (``None`` where a conflict was already reported)."""
+        (lu, lwhy), (ru, rwhy) = left, right
+        scale: Optional[str]
+        domain: Optional[str]
+        if (
+            lu.scale in _CONCRETE_SCALES
+            and ru.scale in _CONCRETE_SCALES
+            and lu.scale != ru.scale
+        ):
+            self._emit(UNIT_MISMATCH, line, (
+                f"{context} mixes {self._describe(lu, lwhy)} with "
+                f"{self._describe(ru, rwhy)}; convert explicitly via "
+                f"repro.types.ms_to_s/s_to_ms"
+            ))
+            scale = None
+        else:
+            scale = _join_field(lu.scale, ru.scale)
+        if (
+            lu.domain in _CONCRETE_DOMAINS
+            and ru.domain in _CONCRETE_DOMAINS
+            and lu.domain != ru.domain
+        ):
+            self._emit(TIME_DOMAIN_MIXING, line, (
+                f"{context} mixes {self._describe(lu, lwhy)} with "
+                f"{self._describe(ru, rwhy)}; simulated, host, and "
+                f"unix-epoch clocks are unrelated timelines"
+            ))
+            domain = None
+        else:
+            domain = _join_field(lu.domain, ru.domain)
+        return scale, domain
+
+    def _combine_additive(
+        self, left: _Val, right: _Val, line: int, op_label: str
+    ) -> _Val:
+        scale, domain = self._check_pair(left, right, line,
+                                         f"'{op_label}' arithmetic")
+        (lu, lwhy), (ru, rwhy) = left, right
+        role: Optional[str]
+        if op_label == "Sub" and lu.role == "timestamp" and (
+            ru.role == "timestamp"
+        ):
+            role = "duration"
+        elif "timestamp" in (lu.role, ru.role) and "duration" in (
+            lu.role, ru.role
+        ):
+            role = "timestamp"
+        else:
+            role = _join_field(lu.role, ru.role)
+        return (Unit(scale=scale, domain=domain, role=role),
+                lwhy or rwhy)
+
+    @staticmethod
+    def _magic_constant(node: ast.expr) -> bool:
+        return isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float)
+        ) and float(node.value) == 1000.0
+
+    def _eval_binop(self, node: ast.BinOp) -> _Val:
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            return self._combine_additive(
+                left, right, node.lineno, type(node.op).__name__
+            )
+        if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv,
+                                ast.Mod)):
+            return self._eval_scaling(node, left, right)
+        return (Unit(), None)
+
+    def _eval_scaling(
+        self, node: ast.BinOp, left: _Val, right: _Val
+    ) -> _Val:
+        (lu, lwhy), (ru, rwhy) = left, right
+        is_div = isinstance(node.op, (ast.Div, ast.FloorDiv))
+        is_mult = isinstance(node.op, ast.Mult)
+
+        operand: Optional[_Val] = None
+        if (is_div or is_mult) and self._magic_constant(node.right) and (
+            lu.scale in _CONCRETE_SCALES
+        ):
+            operand = left
+        elif is_mult and self._magic_constant(node.left) and (
+            ru.scale in _CONCRETE_SCALES
+        ):
+            operand = right
+        if operand is not None and self._fn.module != _CONVERSION_HOME:
+            unit, why = operand
+            helper = "repro.types.ms_to_s" if (
+                is_div and unit.scale == "ms"
+            ) else "repro.types.s_to_ms" if (
+                is_mult and unit.scale == "s"
+            ) else "repro.types.ms_to_s/s_to_ms"
+            literal = "/ 1000" if is_div else "* 1000"
+            self._emit(MAGIC_UNIT_CONVERSION, node.lineno, (
+                f"bare '{literal}' conversion of a "
+                f"{self._describe(unit, why)} value; route it through "
+                f"{helper} (or repro.types.MS_PER_S for rates) so time "
+                f"conversions stay greppable and dimension-checked"
+            ))
+        if operand is not None:
+            unit = operand[0]
+            converted: Optional[str]
+            if is_div:
+                converted = "s" if unit.scale == "ms" else None
+            else:
+                converted = "ms" if unit.scale == "s" else None
+            return (
+                Unit(scale=converted, domain=unit.domain,
+                     role=unit.role),
+                operand[1],
+            )
+
+        if isinstance(node.op, ast.Mod):
+            # t % interval keeps the unit when both sides share it.
+            if lu.scale is not None:
+                return (lu, lwhy)
+            return (Unit(), None)
+        if lu.scale is not None and ru.scale is None:
+            return (lu, lwhy)  # time scaled by a dimensionless factor
+        if is_mult and ru.scale is not None and lu.scale is None:
+            return (ru, rwhy)
+        return (Unit(), None)  # time/time, scalar/time, scalar/scalar
+
+
+# -- the boundary rule (purely local) ---------------------------------
+
+
+def _boundary_findings(analysis: UnitAnalysis) -> List[Finding]:
+    findings: List[Finding] = []
+    for key in sorted(analysis.defs):
+        fn = analysis.defs[key]
+        if not fn.public or fn.node is None:
+            continue
+        info = analysis.model.modules[fn.module]
+        for name in fn.params:
+            if name in ("self", "cls"):
+                continue
+            declared = fn.declared[name]
+            if declared.scale is not None or declared.domain is not None:
+                continue
+            parts = name.lower().split("_")
+            if not any(part in _BOUNDARY_WORDS for part in parts):
+                continue
+            if info.source.is_suppressed(
+                UNITLESS_DURATION_BOUNDARY, fn.line
+            ):
+                continue
+            findings.append(Finding(
+                rule_id=UNITLESS_DURATION_BOUNDARY,
+                path=fn.path,
+                line=fn.line,
+                message=(
+                    f"public parameter '{name}' of {fn.qualname} names "
+                    f"a duration/timestamp but declares no unit: "
+                    f"suffix it (_ms/_s/_unix) or annotate it with a "
+                    f"repro.types time alias so call sites know what "
+                    f"to pass"
+                ),
+            ))
+    return findings
+
+
+# -- the analysis entry point -----------------------------------------
+
+#: Fixpoint safety valve; the per-field lattice has height 2, so real
+#: trees converge in a handful of rounds.
+_MAX_ROUNDS = 20
+
+
+def analyze_units(model: ProjectModel) -> UnitAnalysis:
+    """Run the whole dimensional pass over a built project model."""
+    defs: Dict[str, _FnDef] = {}
+    for name in sorted(model.modules):
+        _DefCollector(model.modules[name], defs).run()
+    summaries = {
+        key: FnUnits(params={
+            name: defs[key].declared[name] for name in defs[key].params
+        })
+        for key in defs
+    }
+    analysis = UnitAnalysis(model=model, defs=defs, summaries=summaries)
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for key in sorted(defs):
+            if _BodyAnalyzer(analysis, defs[key], report=False).run():
+                changed = True
+        if not changed:
+            break
+    findings: List[Finding] = []
+    for key in sorted(defs):
+        analyzer = _BodyAnalyzer(analysis, defs[key], report=True)
+        analyzer.run()
+        findings.extend(analyzer.findings)
+    findings.extend(_boundary_findings(analysis))
+    analysis.findings = sort_findings(findings)
+    return analysis
+
+
+def unit_findings(analysis: UnitAnalysis) -> List[Finding]:
+    """The four rules' findings, canonically ordered."""
+    return list(analysis.findings)
+
+
+def unit_rule_catalog() -> Dict[str, str]:
+    """``rule id -> summary`` for the dimensional rules."""
+    return {rule.rule_id: rule.summary for rule in UNIT_RULES}
+
+
+# -- the unit report (CLI / CI artifact) ------------------------------
+
+
+def unit_report(
+    analysis: UnitAnalysis,
+    findings: Iterable[Finding],
+    function: Optional[str] = None,
+) -> Dict[str, object]:
+    """Deterministic JSON-ready dump of the per-function unit table.
+
+    Every function in the model (plus each module's ``<module>``
+    pseudo-function) gets a row: per-parameter unit labels and the
+    return unit.  ``function`` filters like ``repro lint effects
+    --function`` — exact key, qualname, or bare-name match.
+    """
+    model = analysis.model
+
+    def matches(key: str, qualname: str) -> bool:
+        if function is None:
+            return True
+        return function in (key, qualname) or key.endswith(
+            f":{function}"
+        )
+
+    functions: List[Dict[str, object]] = []
+    for key in sorted(model.functions):
+        node = model.functions[key]
+        if not matches(key, node.qualname):
+            continue
+        fn = analysis.defs.get(key)
+        summary = analysis.summaries.get(key)
+        if fn is None or summary is None:
+            params: Dict[str, str] = {}
+            returns = Unit()
+            public = False
+        else:
+            params = {
+                name: summary.params[name].label()
+                for name in fn.params
+            }
+            returns = summary.returns
+            public = fn.public
+        functions.append({
+            "function": key,
+            "path": node.path,
+            "line": node.line,
+            "params": params,
+            "returns": returns.label(),
+            "public": public,
+        })
+    return {
+        "functions": functions,
+        "findings": [finding.to_dict() for finding in findings],
+        "rules": unit_rule_catalog(),
+    }

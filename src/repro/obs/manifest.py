@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.errors import ReproError
+from repro.types import UnixSeconds
 from repro.obs.observer import Observer
 from repro.obs.profiling import PhaseRegistry
 from repro.obs.sampler import TimeSeries
@@ -38,7 +39,7 @@ class RunManifest:
     version: str = field(default_factory=_package_version)
     # Run metadata, not simulation input: the creation stamp never
     # feeds back into simulated behaviour.
-    created_unix: float = field(default_factory=time.time)  # repro-lint: allow[sim-wallclock]
+    created_unix: UnixSeconds = field(default_factory=time.time)  # repro-lint: allow[sim-wallclock]
     seed: Optional[int] = None
     config: Dict[str, Any] = field(default_factory=dict)
     #: qualified phase name -> total seconds

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.types import Ms, SimMs, ms_to_s
 from repro.utils.stats import FixedBinHistogram
 
 
@@ -31,7 +32,7 @@ from repro.utils.stats import FixedBinHistogram
 class Sample:
     """One flushed sampling window (rates are per simulated second)."""
 
-    time_ms: float
+    time_ms: SimMs
     requests: int
     local_hits: int
     group_hits: int
@@ -117,8 +118,8 @@ class MetricsSampler:
 
     def __init__(
         self,
-        interval_ms: float,
-        latency_upper_ms: float = 2_000.0,
+        interval_ms: SimMs,
+        latency_upper_ms: Ms = 2_000.0,
     ) -> None:
         if interval_ms <= 0:
             raise SimulationError(
@@ -209,7 +210,7 @@ class MetricsSampler:
     ) -> Sample:
         """Close the current window at ``tick_ms`` and emit its sample."""
         requests = self._local + self._group + self._origin
-        window_s = self._interval_ms / 1_000.0
+        window_s = ms_to_s(self._interval_ms)
         hit_rate = (
             (self._local + self._group) / requests if requests else 0.0
         )

@@ -19,18 +19,18 @@ class NoiseModel(abc.ABC):
 
     @abc.abstractmethod
     def perturb(
-        self, true_rtts: np.ndarray, rng: np.random.Generator
+        self, true_rtts_ms: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        """Return one noisy observation per entry of ``true_rtts``."""
+        """Return one noisy observation per entry of ``true_rtts_ms``."""
 
 
 class NoNoise(NoiseModel):
     """Probes observe the exact RTT (useful for tests and calibration)."""
 
     def perturb(
-        self, true_rtts: np.ndarray, rng: np.random.Generator
+        self, true_rtts_ms: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        return np.asarray(true_rtts, dtype=float).copy()
+        return np.asarray(true_rtts_ms, dtype=float).copy()
 
 
 class GaussianRelativeNoise(NoiseModel):
@@ -54,13 +54,15 @@ class GaussianRelativeNoise(NoiseModel):
         return self._std
 
     def perturb(
-        self, true_rtts: np.ndarray, rng: np.random.Generator
+        self, true_rtts_ms: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        true_rtts = np.asarray(true_rtts, dtype=float)
+        true_rtts_ms = np.asarray(true_rtts_ms, dtype=float)
         if self._std == 0:
-            return true_rtts.copy()
-        factors = 1.0 + rng.normal(0.0, self._std, size=true_rtts.shape)
-        observed = true_rtts * factors
+            return true_rtts_ms.copy()
+        factors = 1.0 + rng.normal(0.0, self._std, size=true_rtts_ms.shape)
+        observed = true_rtts_ms * factors
         # Zero-RTT entries (self-probes) stay exactly zero.
-        observed = np.where(true_rtts == 0.0, 0.0, np.maximum(observed, self._floor))
+        observed = np.where(
+            true_rtts_ms == 0.0, 0.0, np.maximum(observed, self._floor)
+        )
         return observed

@@ -17,7 +17,7 @@ from repro.config import ProbeConfig
 from repro.errors import ProbingError
 from repro.probing.noise import GaussianRelativeNoise, NoiseModel
 from repro.topology.network import EdgeCacheNetwork
-from repro.types import NodeId
+from repro.types import Ms, NodeId
 from repro.utils.rng import SeedLike, spawn_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -39,7 +39,7 @@ class ProbeStats:
     #: probe slots that exhausted every retry without an answer
     timeouts: int = 0
     #: simulated wait charged to timeouts and retry backoff (ms)
-    timeout_wait_ms: float = 0.0
+    timeout_wait_ms: Ms = 0.0
     _seen_pairs: set = field(default_factory=set, repr=False)
 
     def record(self, source: NodeId, target: NodeId, probe_count: int) -> None:

@@ -69,6 +69,7 @@ from typing import (
 )
 
 from repro.errors import SchedulerError
+from repro.types import Seconds
 from repro.obs.profiling import PhaseRegistry, activate, current_registry, perf_seconds
 from repro.runtime.cache import get_cache, stats_delta
 
@@ -406,10 +407,10 @@ class TaskScheduler:
     def __init__(
         self,
         jobs: int = 1,
-        task_timeout_s: Optional[float] = None,
+        task_timeout_s: Optional[Seconds] = None,
         max_retries: int = 3,
-        retry_backoff_s: float = 0.1,
-        retry_backoff_cap_s: float = 5.0,
+        retry_backoff_s: Seconds = 0.1,
+        retry_backoff_cap_s: Seconds = 5.0,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")

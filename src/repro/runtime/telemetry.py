@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, TextIO
 
 from repro.obs.profiling import perf_seconds
+from repro.types import Seconds
 
 
 @dataclass(frozen=True)
@@ -36,8 +37,8 @@ class TaskPerf:
     """One work unit's measured cost, as reported by its worker."""
 
     index: int
-    wall_s: float
-    queue_wait_s: float
+    wall_s: Seconds
+    queue_wait_s: Seconds
     events: int
     cache_hits: int = 0
     cache_misses: int = 0
@@ -57,7 +58,7 @@ class ProgressReporter:
         self,
         label: str = "",
         stream: Optional[TextIO] = None,
-        interval_s: float = 1.0,
+        interval_s: Seconds = 1.0,
     ) -> None:
         self.label = label
         self._stream = stream
@@ -162,7 +163,7 @@ class PerfCollector:
                 events=sum(t.events for t in self._tasks),
             )
 
-    def on_map_end(self, elapsed_s: float) -> None:
+    def on_map_end(self, elapsed_s: Seconds) -> None:
         self._span_s += elapsed_s
 
     # -- reduction ------------------------------------------------------

@@ -21,14 +21,14 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.types import DocumentId, NodeId
+from repro.types import DocumentId, NodeId, SimMs
 
 
 @dataclass(frozen=True)
 class RequestEvent:
     """A client request arriving at an edge cache."""
 
-    timestamp_ms: float
+    timestamp_ms: SimMs
     cache_node: NodeId
     doc_id: DocumentId
     priority: int = field(default=1, init=False, repr=False)
@@ -38,7 +38,7 @@ class RequestEvent:
 class OriginUpdateEvent:
     """An origin-side document update."""
 
-    timestamp_ms: float
+    timestamp_ms: SimMs
     doc_id: DocumentId
     priority: int = field(default=0, init=False, repr=False)
 
@@ -51,7 +51,7 @@ class CacheFailEvent:
     never hits a cache that failed "at the same moment".
     """
 
-    timestamp_ms: float
+    timestamp_ms: SimMs
     cache_node: NodeId
     priority: int = field(default=0, init=False, repr=False)
 
@@ -60,7 +60,7 @@ class CacheFailEvent:
 class CacheRecoverEvent:
     """A failed cache rejoins, empty."""
 
-    timestamp_ms: float
+    timestamp_ms: SimMs
     cache_node: NodeId
     priority: int = field(default=0, init=False, repr=False)
 
@@ -75,7 +75,7 @@ class PartitionStartEvent:
     same timestamp already sees the partition.
     """
 
-    timestamp_ms: float
+    timestamp_ms: SimMs
     nodes: Tuple[NodeId, ...]
     partition_id: int
     priority: int = field(default=0, init=False, repr=False)
@@ -85,7 +85,7 @@ class PartitionStartEvent:
 class PartitionEndEvent:
     """The partition heals; the node set rejoins the main component."""
 
-    timestamp_ms: float
+    timestamp_ms: SimMs
     nodes: Tuple[NodeId, ...]
     priority: int = field(default=0, init=False, repr=False)
 
@@ -168,7 +168,7 @@ class EventQueue:
         return self._heap[0][0]
 
     @property
-    def now_ms(self) -> float:
+    def now_ms(self) -> SimMs:
         """Timestamp of the most recently popped event (sim clock).
 
         0.0 until the first pop — including for a queue that has had

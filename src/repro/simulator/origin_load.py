@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.errors import SimulationError
+from repro.types import MS_PER_S
 
 #: Utilisation clamp: past this the queue model would diverge; a real
 #: origin degrades (sheds load / queues unboundedly), which we cap as a
@@ -29,7 +30,7 @@ class OriginLoadTracker:
             raise SimulationError("capacity_rps must be > 0")
         if window_ms <= 0:
             raise SimulationError("window_ms must be > 0")
-        self._capacity_per_ms = capacity_rps / 1000.0
+        self._capacity_per_ms = capacity_rps / MS_PER_S
         self._window_ms = window_ms
         self._arrivals: deque = deque()
         self._peak_utilisation = 0.0

@@ -1,6 +1,9 @@
 """Cross-cutting utilities: seeded RNG streams, streaming statistics,
-plain-text table rendering, and argument validation helpers."""
+plain-text table rendering, argument validation helpers, and the
+sanctioned time-unit conversions (re-exported from :mod:`repro.types`
+so callers converting between the three clocks need only one import)."""
 
+from repro.types import MS_PER_S, ms_to_s, s_to_ms
 from repro.utils.rng import RngFactory, spawn_rng
 from repro.utils.stats import OnlineStats, percentile, summarize
 from repro.utils.tables import Table
@@ -12,6 +15,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "MS_PER_S",
     "RngFactory",
     "spawn_rng",
     "OnlineStats",
@@ -22,4 +26,6 @@ __all__ = [
     "check_positive",
     "check_non_negative",
     "check_in_range",
+    "ms_to_s",
+    "s_to_ms",
 ]

@@ -14,7 +14,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.types import DocumentId, NodeId
+from repro.types import DocumentId, NodeId, ms_to_s
 from repro.workload.trace import RequestRecord
 
 
@@ -34,7 +34,7 @@ class TraceStats:
         return (
             f"requests={self.num_requests} caches={self.num_caches} "
             f"docs={self.num_distinct_docs} "
-            f"duration={self.duration_ms / 1000:.1f}s "
+            f"duration={ms_to_s(self.duration_ms):.1f}s "
             f"top-doc={self.top_doc_share:.1%} "
             f"zipf-alpha~{self.zipf_alpha_estimate:.2f} "
             f"overlap={self.mean_pairwise_overlap:.2f}"

@@ -194,6 +194,72 @@ def test_seeded_shared_global_write_in_task_is_caught(tmp_path):
     )
 
 
+def test_units_dump_over_src_is_deterministic(monkeypatch, capsys):
+    """``repro lint units --format json`` is byte-stable (CI artifact)."""
+    from repro.cli import main
+
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "units", "src", "--format", "json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["lint", "units", "src", "--format", "json"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+    import json
+
+    payload = json.loads(first)
+    # The real tree is dimensionally clean: every ms<->s flow is
+    # converted through repro.types and the clocks never mix, so the
+    # gate stays green with an *empty* committed baseline.
+    assert payload["findings"] == []
+    # Every function in the model carries a unit summary row.
+    rows = {row["function"]: row for row in payload["functions"]}
+    assert len(rows) > 1000
+    # Known anchors resolve to the expected lattice points.
+    assert rows["repro.obs.profiling:perf_seconds"]["returns"] == (
+        "host-s timestamp"
+    )
+    flush = rows["repro.obs.sampler:MetricsSampler.flush"]
+    assert flush["params"]["tick_ms"] == "ms"
+    backoff = rows["repro.faults.model:FaultModel.backoff_ms"]
+    assert backoff["returns"] == "ms duration"
+
+
+def test_seeded_unit_mismatch_in_figure_runner_is_caught(tmp_path):
+    """A seconds slot fed milliseconds inside a real runner fails lint.
+
+    The walkthrough in docs/static-analysis.md: append a helper pair to
+    fig6 where a ``*_ms`` budget flows into a ``*_s`` window parameter —
+    only the interprocedural binding check can see it.
+    """
+    victim = REPO_ROOT / "src" / "repro" / "experiments" / (
+        "fig6_num_landmarks.py"
+    )
+    copy_root = tmp_path / "src" / "repro" / "experiments"
+    copy_root.mkdir(parents=True)
+    target = copy_root / "fig6_num_landmarks.py"
+    text = victim.read_text()
+    target.write_text(
+        text
+        + "\n\ndef _units_probe(budget_ms):\n"
+          "    return _units_consume(budget_ms)\n\n\n"
+          "def _units_consume(window_s):\n"
+          "    return window_s * 2\n"
+    )
+    # The file ends with a newline, so the mismatched binding (the
+    # `_units_consume(budget_ms)` call) is four lines past the end.
+    injected_line = len(text.splitlines()) + 4
+
+    report = lint_paths([tmp_path / "src"], root=tmp_path)
+    seeded = [
+        (f.rule_id, f.line) for f in report.findings
+        if f.rule_id in ("unit-mismatch", "time-domain-mixing",
+                         "magic-unit-conversion",
+                         "unitless-duration-boundary")
+    ]
+    assert seeded == [("unit-mismatch", injected_line)]
+
+
 def test_wallclock_injection_into_engine_is_caught(tmp_path):
     victim = REPO_ROOT / "src" / "repro" / "simulator" / "engine.py"
     copy_root = tmp_path / "src" / "repro" / "simulator"

@@ -1,0 +1,69 @@
+"""Property tests for the sanctioned time-unit conversion helpers.
+
+:func:`repro.types.ms_to_s` / :func:`repro.types.s_to_ms` are the only
+blessed ms<->s conversions (the ``magic-unit-conversion`` lint rule
+rejects bare ``* 1000`` / ``/ 1000`` on time values), so their algebra
+must be dependable: round-trips recover the input to float precision,
+ordering of durations survives conversion, and zero/scaling behave
+exactly.
+"""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import MS_PER_S, ms_to_s, s_to_ms
+
+# Finite non-negative durations: zero plus the normal-float range,
+# capped so ``* 1000`` cannot overflow and floored above the subnormal
+# range, where ``/ 1000`` genuinely loses relative precision.
+durations = st.one_of(
+    st.just(0.0),
+    st.floats(
+        min_value=1e-300, max_value=1e300,
+        allow_nan=False, allow_infinity=False,
+    ),
+)
+
+
+@given(durations)
+def test_ms_round_trip_is_close(value_ms):
+    # Not exact in general: value / 1000 * 1000 rounds twice (e.g.
+    # 0.1 * 1000 != 100.0 exactly), so assert to float precision.
+    assert math.isclose(
+        s_to_ms(ms_to_s(value_ms)), value_ms, rel_tol=1e-12, abs_tol=0.0
+    ) or value_ms == 0.0
+
+
+@given(durations)
+def test_s_round_trip_is_close(value_s):
+    assert math.isclose(
+        ms_to_s(s_to_ms(value_s)), value_s, rel_tol=1e-12, abs_tol=0.0
+    ) or value_s == 0.0
+
+
+@given(durations, durations)
+def test_conversion_preserves_ordering(a_ms, b_ms):
+    # Multiplication/division by a positive constant is monotone, so
+    # comparisons of durations are safe on either side of a conversion.
+    assert (a_ms <= b_ms) == (ms_to_s(a_ms) <= ms_to_s(b_ms))
+    assert (a_ms <= b_ms) == (s_to_ms(a_ms) <= s_to_ms(b_ms))
+
+
+@given(durations)
+def test_conversions_preserve_sign_and_zero(value):
+    assert ms_to_s(0.0) == 0.0
+    assert s_to_ms(0.0) == 0.0
+    assert ms_to_s(value) >= 0.0
+    assert s_to_ms(value) >= 0.0
+
+
+@given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                 allow_infinity=False))
+def test_whole_second_values_convert_exactly(seconds):
+    # Integral values small enough that ``whole * 1000`` stays within
+    # the 2**53 exact-integer range are exact both ways.
+    whole = float(int(seconds))
+    assert s_to_ms(whole) == whole * MS_PER_S
+    assert ms_to_s(whole * MS_PER_S) == whole
